@@ -1,0 +1,62 @@
+"""Shared state for the benchmark harness.
+
+Heavy simulations (the crawl, the deployment) run once per session;
+each bench then times the analysis that regenerates its table or
+figure and prints paper-vs-measured rows.
+
+Scale knobs come from environment variables so the harness can be run
+bigger on beefier machines:
+
+* ``REPRO_BENCH_SITES``   -- crawl size (default 400)
+* ``REPRO_BENCH_DEPLOY``  -- deployment world size (default 300)
+"""
+
+import os
+
+import pytest
+
+from repro.browser import ChromiumPolicy
+from repro.dataset.crawler import Crawler
+from repro.dataset.generator import DatasetConfig
+from repro.dataset.world import build_world
+from repro.deployment import DeploymentExperiment
+from repro.deployment.experiment import deployment_world_config
+
+BENCH_SITES = int(os.environ.get("REPRO_BENCH_SITES", "400"))
+DEPLOY_SITES = int(os.environ.get("REPRO_BENCH_DEPLOY", "300"))
+
+
+@pytest.fixture(scope="session")
+def crawl():
+    """The characterization crawl: (world, CrawlResult)."""
+    config = DatasetConfig(site_count=BENCH_SITES, seed=2022)
+    world = build_world(config)
+    crawler = Crawler(world, policy=ChromiumPolicy(),
+                      speculative_rate=0.10)
+    return world, crawler.crawl()
+
+
+@pytest.fixture(scope="session")
+def archives(crawl):
+    _, result = crawl
+    return result.archives
+
+
+@pytest.fixture(scope="session")
+def successes(crawl):
+    _, result = crawl
+    return result.successes
+
+
+@pytest.fixture(scope="session")
+def deployment():
+    """A deployment world with reissued certificates."""
+    world = build_world(deployment_world_config(site_count=DEPLOY_SITES))
+    experiment = DeploymentExperiment(world)
+    experiment.reissue_certificates()
+    return world, experiment
+
+
+def print_block(text):
+    print()
+    print(text)

@@ -1,0 +1,55 @@
+"""Ablation: crossorigin=anonymous / fetch() share vs coalescing.
+
+§5.3 found coalescing "obstructed by use of the HTML crossorigin
+attribute set to anonymous" and by fetch()/XHR.  Sweeping the share of
+such requests shows how much of the deployment's headroom they eat.
+"""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct, render_table
+from repro.dataset.world import build_world
+from repro.deployment import ActiveMeasurement, DeploymentExperiment
+from repro.deployment.experiment import (
+    Group,
+    deployment_world_config,
+)
+
+RATES = (0.0, 0.15, 0.5, 0.9)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    zero_fraction = {}
+    for rate in RATES:
+        config = deployment_world_config(site_count=150, seed=2022)
+        config.popular_anonymous_rate = rate
+        config.anonymous_fetch_rate = max(
+            rate, config.anonymous_fetch_rate
+        )
+        world = build_world(config)
+        experiment = DeploymentExperiment(world)
+        experiment.reissue_certificates()
+        experiment.enable_origin_frames()
+        active = ActiveMeasurement(experiment, origin_frames=True,
+                                   churn_rate=0.0, seed=3)
+        result = active.run()
+        zero_fraction[rate] = result.fraction_with(Group.EXPERIMENT, 0)
+    return zero_fraction
+
+
+def test_ablation_crossorigin(benchmark, sweep):
+    benchmark(lambda: dict(sweep))
+    print_block(render_table(
+        "Ablation -- anonymous-fetch share vs fully coalesced visits "
+        "(experiment group)",
+        ["Anonymous share", "Visits with 0 new connections"],
+        [(format_pct(rate), format_pct(sweep[rate])) for rate in RATES],
+    ))
+
+    # More anonymous requests -> fewer fully coalesced visits.
+    assert sweep[0.0] >= sweep[0.5] >= sweep[0.9]
+    assert sweep[0.0] > 0.6
+    assert sweep[0.9] < sweep[0.0]

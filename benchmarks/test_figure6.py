@@ -1,0 +1,40 @@
+"""Figure 6: experiment certificate issuance with byte-equal padding."""
+
+from conftest import print_block
+
+from repro.analysis import render_table
+from repro.deployment.experiment import (
+    DEFAULT_CONTROL_DOMAIN,
+    DEFAULT_THIRD_PARTY,
+    Group,
+)
+
+
+def test_figure6(benchmark, deployment):
+    _, experiment = deployment
+    deltas = benchmark(experiment.certificate_size_deltas)
+    rows = []
+    for group in Group:
+        values = deltas[group]
+        rows.append((
+            group.value,
+            len(values),
+            f"{min(values)}..{max(values)}" if values else "-",
+            (DEFAULT_THIRD_PARTY if group is Group.EXPERIMENT
+             else DEFAULT_CONTROL_DOMAIN),
+        ))
+    print_block(render_table(
+        "Figure 6 -- certificate reissuance "
+        "(paper: both groups' SAN additions are 20 bytes)",
+        ["Group", "Certificates", "Size delta (bytes)", "Added SAN"],
+        rows,
+    ))
+
+    assert len(DEFAULT_THIRD_PARTY) == len(DEFAULT_CONTROL_DOMAIN)
+    assert set(deltas[Group.EXPERIMENT]) == set(deltas[Group.CONTROL])
+    for site in experiment.sample:
+        expected = (
+            DEFAULT_THIRD_PARTY if site.group is Group.EXPERIMENT
+            else DEFAULT_CONTROL_DOMAIN
+        )
+        assert site.reissued_certificate.covers(expected)

@@ -1,0 +1,54 @@
+"""Figure 7a: active measurement under IP-based coalescing (§5.2)."""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct, render_table
+from repro.deployment import ActiveMeasurement
+from repro.deployment.active import FIREFOX_91_UA
+from repro.deployment.experiment import Group
+
+#: Paper: control 9%/83% at 0/1 connections, max 7; experiment ~70%
+#: zero, 28% one, max 4.
+PAPER = {"control_zero": 0.09, "control_one": 0.83,
+         "experiment_zero": 0.70}
+
+
+@pytest.fixture(scope="module")
+def measured(deployment):
+    _, experiment = deployment
+    experiment.deploy_ip_coalescing()
+    active = ActiveMeasurement(
+        experiment, origin_frames=False, user_agent=FIREFOX_91_UA,
+        seed=77,
+    )
+    result = active.run()
+    experiment.undo_ip_coalescing()
+    return result
+
+
+def test_figure7a(benchmark, measured):
+    cdf_control = benchmark(measured.cdf, Group.CONTROL)
+    cdf_experiment = measured.cdf(Group.EXPERIMENT)
+    rows = []
+    for count in range(8):
+        rows.append((
+            count,
+            format_pct(measured.fraction_with(Group.EXPERIMENT, count)),
+            format_pct(measured.fraction_with(Group.CONTROL, count)),
+        ))
+    print_block(render_table(
+        "Figure 7a -- new TLS connections to the third party, IP "
+        f"coalescing (paper: experiment {format_pct(PAPER['experiment_zero'])} "
+        f"zero; control {format_pct(PAPER['control_zero'])} zero / "
+        f"{format_pct(PAPER['control_one'])} one)",
+        ["#New conns", "Experiment", "Control"],
+        rows,
+    ))
+
+    assert measured.fraction_with(Group.EXPERIMENT, 0) >= 0.4
+    assert measured.fraction_with(Group.CONTROL, 0) <= 0.3
+    assert measured.max_connections(Group.CONTROL) <= 7
+    assert cdf_control[-1][1] == pytest.approx(1.0)
+    assert cdf_experiment[-1][1] == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Figure 7b: active measurement under ORIGIN frames (§5.3)."""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct, render_table
+from repro.deployment import ActiveMeasurement
+from repro.deployment.experiment import Group
+
+#: Paper: control 6%/84% at 0/1; experiment 64% zero / 33% one; no
+#: visit exceeds 4 new connections.
+PAPER = {"control_zero": 0.06, "control_one": 0.84,
+         "experiment_zero": 0.64, "experiment_one": 0.33, "max": 4}
+
+
+@pytest.fixture(scope="module")
+def measured(deployment):
+    _, experiment = deployment
+    experiment.enable_origin_frames()
+    active = ActiveMeasurement(experiment, origin_frames=True, seed=53)
+    result = active.run()
+    experiment.disable_origin_frames()
+    return result
+
+
+def test_figure7b(benchmark, measured):
+    benchmark(measured.cdf, Group.EXPERIMENT)
+    rows = []
+    for count in range(5):
+        rows.append((
+            count,
+            format_pct(measured.fraction_with(Group.EXPERIMENT, count)),
+            format_pct(measured.fraction_with(Group.CONTROL, count)),
+        ))
+    print_block(render_table(
+        "Figure 7b -- new TLS connections to the third party, ORIGIN "
+        f"(paper: experiment {format_pct(PAPER['experiment_zero'])} zero "
+        f"/ {format_pct(PAPER['experiment_one'])} one; control "
+        f"{format_pct(PAPER['control_zero'])} zero)",
+        ["#New conns", "Experiment", "Control"],
+        rows,
+    ))
+
+    assert measured.fraction_with(Group.EXPERIMENT, 0) >= 0.4
+    assert measured.fraction_with(Group.CONTROL, 0) <= 0.3
+    assert measured.max_connections(Group.EXPERIMENT) <= PAPER["max"]
+    assert measured.fraction_with(Group.EXPERIMENT, 0) > \
+        measured.fraction_with(Group.CONTROL, 0)

@@ -1,0 +1,56 @@
+"""§6.7: the ORIGIN frame vs a non-compliant middlebox."""
+
+from conftest import print_block
+
+from repro.browser import BrowserContext, BrowserEngine, FirefoxPolicy
+from repro.deployment import BuggyMiddlebox
+
+
+def load(world, site, policy=None):
+    context = BrowserContext(
+        network=world.network,
+        client_host=world.client_host,
+        resolver=world.make_resolver(),
+        trust_store=world.trust_store,
+        authorities=world.authorities,
+        policy=policy or FirefoxPolicy(origin_frames=True),
+        asdb=world.asdb,
+    )
+    return BrowserEngine(context).load_blocking(site.hosted.record.page)
+
+
+def test_middlebox_incident(benchmark, deployment):
+    world, experiment = deployment
+    experiment.enable_origin_frames()
+    site = experiment.sample[0]
+
+    buggy = BuggyMiddlebox(world.network,
+                           protected_clients={world.client_host.name})
+    buggy.install()
+    broken = load(world, site)
+    buggy.uninstall()
+
+    fixed = BuggyMiddlebox(world.network,
+                           protected_clients={world.client_host.name})
+    fixed.fix()
+    fixed.install()
+    repaired = benchmark.pedantic(
+        load, args=(world, site), rounds=1, iterations=1
+    )
+    fixed.uninstall()
+    experiment.disable_origin_frames()
+
+    print_block(
+        "Middlebox incident (paper §6.7) -- buggy agent: page "
+        f"{'FAILED' if not broken.page.success else 'loaded'} "
+        f"({buggy.stats.connections_torn_down} connections torn down "
+        f"on {buggy.stats.unknown_frames_seen} unknown frames); "
+        f"after vendor fix: page "
+        f"{'loaded' if repaired.page.success else 'FAILED'} "
+        f"({fixed.stats.unknown_frames_seen} unknown frames ignored)"
+    )
+
+    assert not broken.page.success
+    assert buggy.stats.connections_torn_down > 0
+    assert repaired.page.success
+    assert fixed.stats.connections_torn_down == 0

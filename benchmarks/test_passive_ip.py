@@ -1,0 +1,45 @@
+"""§5.2 passive measurement: TLS connection reduction under IP
+coalescing (paper: 56%)."""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct
+from repro.deployment import ActiveMeasurement, PassivePipeline
+from repro.deployment.active import FIREFOX_91_UA
+from repro.deployment.experiment import Group
+
+PAPER_REDUCTION = 0.56
+
+
+@pytest.fixture(scope="module")
+def pipeline(deployment):
+    _, experiment = deployment
+    experiment.deploy_ip_coalescing()
+    pipe = PassivePipeline(experiment, sampling_rate=1.0, seed=11)
+    pipe.attach()
+    # Drive traffic with the v91 Firefox model (no ORIGIN support).
+    active = ActiveMeasurement(
+        experiment, origin_frames=False, user_agent=FIREFOX_91_UA,
+        seed=19, churn_rate=0.0,
+    )
+    active.run()
+    pipe.detach()
+    experiment.undo_ip_coalescing()
+    return pipe
+
+
+def test_passive_ip_reduction(benchmark, pipeline):
+    reduction = benchmark(pipeline.tls_connection_reduction)
+    experiment_direct = pipeline.direct_connection_count(Group.EXPERIMENT)
+    control_direct = pipeline.direct_connection_count(Group.CONTROL)
+    print_block(
+        "Passive (IP coalescing) -- new third-party TLS connections: "
+        f"experiment {experiment_direct}, control {control_direct}; "
+        f"reduction {format_pct(reduction)} "
+        f"(paper: {format_pct(PAPER_REDUCTION)})"
+    )
+    assert reduction >= 0.3
+    assert pipeline.coalesced_connection_count(Group.EXPERIMENT) > 0
+    assert pipeline.coalesced_connection_count(Group.CONTROL) == 0

@@ -1,0 +1,43 @@
+"""§5.3 passive measurement: TLS connection reduction under ORIGIN
+frames, Firefox-filtered (paper: ~50%)."""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct
+from repro.deployment import ActiveMeasurement, PassivePipeline
+from repro.deployment.experiment import Group
+
+PAPER_REDUCTION = 0.50
+
+
+@pytest.fixture(scope="module")
+def pipeline(deployment):
+    _, experiment = deployment
+    experiment.enable_origin_frames()
+    pipe = PassivePipeline(
+        experiment, sampling_rate=1.0, seed=13, firefox_only=True,
+    )
+    pipe.attach()
+    active = ActiveMeasurement(experiment, origin_frames=True,
+                               seed=23, churn_rate=0.0)
+    active.run()
+    pipe.detach()
+    experiment.disable_origin_frames()
+    return pipe
+
+
+def test_passive_origin_reduction(benchmark, pipeline):
+    reduction = benchmark(pipeline.tls_connection_reduction)
+    print_block(
+        "Passive (ORIGIN, Firefox-filtered) -- reduction "
+        f"{format_pct(reduction)} (paper: ~{format_pct(PAPER_REDUCTION)})"
+    )
+    # Coalescing is visible through the SNI != Host flag bit.
+    flagged = [r for r in pipeline.third_party_records()
+               if r.sni_host_mismatch]
+    assert flagged
+    assert all("firefox" in r.user_agent.lower()
+               for r in pipeline.records)
+    assert reduction >= 0.3

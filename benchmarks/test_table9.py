@@ -1,0 +1,39 @@
+"""Table 9: per-provider most-valuable certificate additions."""
+
+from conftest import print_block
+
+import pytest
+
+from repro.analysis import format_pct, render_table
+from repro.core import plan_certificates, provider_addition_table
+
+
+@pytest.fixture(scope="module")
+def planned(crawl):
+    world, _ = crawl
+    return world, plan_certificates(world)
+
+
+def test_table9(benchmark, planned):
+    world, plan = planned
+    rows = benchmark(provider_addition_table, world, plan)
+    flat = []
+    for provider, site_count, share, host_rows in rows:
+        for hostname, count, host_share in host_rows:
+            flat.append((
+                f"{provider} ({site_count} sites, {format_pct(share)})",
+                hostname, count, format_pct(host_share),
+            ))
+    print_block(render_table(
+        "Table 9 -- top same-provider hostnames to add per provider "
+        "(paper: Cloudflare 24.74% of sites; cdnjs used by 16.21% of "
+        "them)",
+        ["Provider", "Hostname", "#Sites", "% of provider sites"],
+        flat,
+    ))
+
+    providers = [provider for provider, _, _, _ in rows]
+    assert "Cloudflare" in providers
+    cloudflare = next(r for r in rows if r[0] == "Cloudflare")
+    hostnames = [hostname for hostname, _, _ in cloudflare[3]]
+    assert any("cdnjs" in hostname for hostname in hostnames)

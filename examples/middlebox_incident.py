@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The §6.7 incident: an antivirus network agent vs the ORIGIN frame.
+
+The HTTP/2 spec requires clients (and anything speaking HTTP/2 on
+their behalf) to ignore unknown frame types.  A deployed network agent
+instead tore down TLS connections when the experiment's ORIGIN frames
+appeared.  This example replays the incident: detection, diagnosis,
+the CDN's mitigation (pausing ORIGIN), and the vendor fix.
+
+Run:  python examples/middlebox_incident.py
+"""
+
+from repro.browser import BrowserContext, BrowserEngine, FirefoxPolicy
+from repro.dataset.world import build_world
+from repro.deployment import BuggyMiddlebox, DeploymentExperiment
+from repro.deployment.experiment import deployment_world_config
+
+
+def load(world, site):
+    context = BrowserContext(
+        network=world.network,
+        client_host=world.client_host,
+        resolver=world.make_resolver(),
+        trust_store=world.trust_store,
+        authorities=world.authorities,
+        policy=FirefoxPolicy(origin_frames=True),
+        asdb=world.asdb,
+    )
+    return BrowserEngine(context).load_blocking(site.hosted.record.page)
+
+
+def main():
+    world = build_world(deployment_world_config(site_count=120, seed=77))
+    experiment = DeploymentExperiment(world)
+    experiment.reissue_certificates()
+    site = experiment.sample[0]
+
+    middlebox = BuggyMiddlebox(
+        world.network, protected_clients={world.client_host.name},
+    )
+    middlebox.install()
+
+    print("phase 1: before the ORIGIN deployment")
+    archive = load(world, site)
+    print(f"  {site.root_hostname}: "
+          f"{'OK' if archive.page.success else 'FAILED'} "
+          f"({middlebox.stats.frames_inspected} frames inspected, "
+          f"{middlebox.stats.connections_torn_down} torn down)\n")
+
+    print("phase 2: ORIGIN frames go live")
+    experiment.enable_origin_frames()
+    archive = load(world, site)
+    print(f"  {site.root_hostname}: "
+          f"{'OK' if archive.page.success else 'FAILED'} "
+          f"({middlebox.stats.unknown_frames_seen} unknown frames seen, "
+          f"{middlebox.stats.connections_torn_down} connections torn "
+          "down)")
+    print("  -> the agent killed the TLS connection on the unknown "
+          "frame type (0xC)\n")
+
+    print("phase 3: CDN mitigation -- pause ORIGIN for affected paths")
+    experiment.disable_origin_frames()
+    archive = load(world, site)
+    print(f"  {site.root_hostname}: "
+          f"{'OK' if archive.page.success else 'FAILED'}\n")
+
+    print("phase 4: vendor ships the fix (ignore unknown frames)")
+    middlebox.fix()
+    experiment.enable_origin_frames()
+    archive = load(world, site)
+    torn = middlebox.stats.connections_torn_down
+    print(f"  {site.root_hostname}: "
+          f"{'OK' if archive.page.success else 'FAILED'} "
+          f"(ORIGIN live again; no new teardowns: total still {torn})")
+    experiment.disable_origin_frames()
+    middlebox.uninstall()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Statistics and plain-text rendering used by benches and examples."""
+
+from repro.analysis.stats import (
+    cdf_points,
+    percentile,
+    median,
+    interquartile_range,
+    histogram,
+)
+from repro.analysis.render import (
+    render_table,
+    render_cdf,
+    render_series,
+    format_pct,
+)
+from repro.analysis.waterfall import render_waterfall
+
+__all__ = [
+    "cdf_points",
+    "percentile",
+    "median",
+    "interquartile_range",
+    "histogram",
+    "render_table",
+    "render_cdf",
+    "render_series",
+    "format_pct",
+    "render_waterfall",
+]

@@ -1,0 +1,56 @@
+"""Distribution statistics helpers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+def median(values: Sequence[float]) -> float:
+    return float(np.median(values)) if len(values) else 0.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    if not len(values):
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    return float(np.percentile(values, q))
+
+
+def interquartile_range(values: Sequence[float]) -> float:
+    return percentile(values, 75) - percentile(values, 25)
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) steps."""
+    if not len(values):
+        return []
+    ordered = np.sort(np.asarray(values, dtype=float))
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for i, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, i / n)
+        else:
+            points.append((float(value), i / n))
+    return points
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Fraction of values <= x."""
+    if not len(values):
+        return 0.0
+    array = np.asarray(values, dtype=float)
+    return float((array <= x).mean())
+
+
+def histogram(values: Sequence[int]) -> Dict[int, float]:
+    """Integer histogram normalized to fractions."""
+    if not len(values):
+        return {}
+    counts = Counter(int(v) for v in values)
+    total = len(values)
+    return {value: count / total for value, count in sorted(counts.items())}

@@ -1,0 +1,75 @@
+"""ASCII waterfall rendering for HAR timelines (Figure 2 style).
+
+Each request renders as one row; the bar shows its phases:
+
+* ``.`` blocked, ``D`` DNS, ``C`` TCP connect, ``S`` TLS,
+  ``#`` send/wait/receive (the transfer itself).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.web.har import HarArchive, HarEntry
+
+
+def _bar(entry: HarEntry, start: float, scale: float, width: int) -> str:
+    chars = [" "] * width
+
+    def fill(offset: float, duration: float, symbol: str) -> float:
+        begin = int((offset - start) * scale)
+        end = max(begin + 1, int((offset + duration - start) * scale))
+        for i in range(begin, min(end, width)):
+            chars[i] = symbol
+        return offset + duration
+
+    cursor = entry.started_at
+    timings = entry.timings
+    for value, symbol in (
+        (timings.blocked, "."),
+        (max(timings.dns, 0.0), "D"),
+        (max(timings.connect, 0.0), "C"),
+        (max(timings.ssl, 0.0), "S"),
+        (timings.send + timings.wait + timings.receive, "#"),
+    ):
+        if value > 0:
+            cursor = fill(cursor, value, symbol)
+    return "".join(chars).rstrip()
+
+
+def render_waterfall(
+    archive: HarArchive,
+    width: int = 64,
+    limit: Optional[int] = None,
+    label_width: int = 30,
+) -> str:
+    """Render the archive's request timeline as text rows."""
+    entries = archive.entries_by_start()
+    if limit is not None:
+        entries = entries[:limit]
+    if not entries:
+        return "(empty timeline)"
+    start = min(entry.started_at for entry in entries)
+    end = max(entry.finished_at for entry in entries)
+    span = max(end - start, 1e-9)
+    scale = width / span
+
+    lines: List[str] = []
+    lines.append(
+        f"{'request'.ljust(label_width)} "
+        f"0ms{' ' * (width - 12)}{span:.0f}ms"
+    )
+    for entry in entries:
+        label = f"{entry.hostname}{entry.path}"
+        if len(label) > label_width:
+            label = label[: label_width - 1] + "~"
+        flag = "*" if entry.coalesced else " "
+        lines.append(
+            f"{label.ljust(label_width)}{flag}"
+            f"{_bar(entry, start, scale, width)}"
+        )
+    lines.append(
+        "legend: .=blocked D=dns C=connect S=tls #=transfer "
+        "*=coalesced"
+    )
+    return "\n".join(lines)

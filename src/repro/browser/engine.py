@@ -1,0 +1,542 @@
+"""The page-load engine.
+
+Loads a :class:`~repro.web.page.WebPage` over the simulated network the
+way a browser would: resolve, connect (or reuse per the active
+coalescing policy), request, parse, discover children, repeat -- and
+records everything as a HAR archive.  This plays the role WebPageTest +
+Chrome played in the paper's data collection (§3.1), with the browser
+policy swappable so Chromium, Firefox, Firefox+ORIGIN, and the ideal
+client can all be compared on identical pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.browser.cache import BrowserCache
+from repro.browser.policy import CoalescingPolicy, ConnectionFacts
+from repro.browser.pool import ConnectionPool
+from repro.dnssim.resolver import CachingResolver
+from repro.h2.client import H2Response
+from repro.h2.tls_channel import TlsClientConfig
+from repro.netsim.network import Host, Network
+from repro.tlspki.ca import CertificateAuthority
+from repro.tlspki.validation import TrustStore
+from repro.web.asdb import AsDatabase
+from repro.web.har import (
+    HarArchive,
+    HarEntry,
+    HarPage,
+    HarTimings,
+    NOT_APPLICABLE,
+)
+from repro.web.page import FetchMode, Subresource, WebPage
+
+
+@dataclass
+class BrowserContext:
+    """Everything a browser needs to load pages in one simulated world."""
+
+    network: Network
+    client_host: Host
+    resolver: CachingResolver
+    trust_store: TrustStore
+    authorities: Sequence[CertificateAuthority]
+    policy: CoalescingPolicy
+    rng: Optional[np.random.Generator] = None
+    #: Probability that opening a new connection races a duplicate
+    #: (speculative/happy-eyeballs effects; §4.2).
+    speculative_rate: float = 0.0
+    tls13: bool = True
+    #: Share of servers still negotiating TLS 1.2 (2 handshake RTTs);
+    #: drawn per new connection when an RNG is available.
+    tls12_rate: float = 0.0
+    asdb: Optional[AsDatabase] = None
+    cache_enabled: bool = False
+    port: int = 443
+    #: Sent on every request; the passive pipeline filters on it.
+    user_agent: str = ""
+    #: TLS session-ticket cache shared across this profile's
+    #: connections; ``None`` disables resumption attempts.
+    tls_session_cache: Optional[Dict] = None
+
+    def tls_config(self, sni: str) -> TlsClientConfig:
+        return TlsClientConfig(
+            sni=sni,
+            trust_store=self.trust_store,
+            authorities=self.authorities,
+            now=self.network.loop.now,
+            tls13=self.tls13,
+            session_cache=self.tls_session_cache,
+        )
+
+
+class _FetchState:
+    """Bookkeeping for one in-flight resource fetch."""
+
+    def __init__(
+        self,
+        resource: Optional[Subresource],
+        hostname: str,
+        path: str,
+        started_at: float,
+    ) -> None:
+        self.resource = resource
+        self.hostname = hostname
+        self.path = path
+        self.started_at = started_at
+        self.timings = HarTimings(
+            dns=NOT_APPLICABLE, connect=NOT_APPLICABLE, ssl=NOT_APPLICABLE
+        )
+        self.dns_addresses: List[str] = []
+        self.coalesced = False
+        self.retried_after_421 = False
+        self.facts: Optional[ConnectionFacts] = None
+
+
+class PageLoad:
+    """State for one page load; produced by :meth:`BrowserEngine.load`."""
+
+    def __init__(
+        self,
+        engine: "BrowserEngine",
+        page: WebPage,
+        on_complete: Callable[[HarArchive], None],
+    ) -> None:
+        self.engine = engine
+        self.context = engine.context
+        self.page = page
+        self.on_complete = on_complete
+        self.pool = ConnectionPool(
+            network=self.context.network,
+            client_host=self.context.client_host,
+            policy=self.context.policy,
+            tls_config_factory=self.context.tls_config,
+            origin_aware=getattr(
+                self.context.policy, "origin_frames", True
+            ) or not self.context.policy.requires_dns_before_reuse,
+            port=self.context.port,
+        )
+        self.entries: List[HarEntry] = []
+        self.outstanding = 0
+        self.extra_tls = 0
+        self.start_time = self.context.network.loop.now()
+        self.root_status = 0
+        self.finished = False
+
+    @property
+    def loop(self):
+        return self.context.network.loop
+
+    # -- entry points -----------------------------------------------------
+
+    def start(self) -> None:
+        self.outstanding += 1
+        state = _FetchState(
+            resource=None,
+            hostname=self.page.hostname,
+            path=self.page.root_path,
+            started_at=self.loop.now(),
+        )
+        self._resolve_then_connect(state, anonymous=False)
+
+    # -- fetch pipeline ------------------------------------------------------
+
+    def _fetch_resource(self, resource: Subresource) -> None:
+        self.outstanding += 1
+        state = _FetchState(
+            resource=resource,
+            hostname=resource.hostname,
+            path=resource.path,
+            started_at=self.loop.now(),
+        )
+        anonymous = resource.fetch_mode is not FetchMode.NORMAL
+
+        if not resource.secure:
+            self._fetch_plain(state)
+            return
+
+        url = f"https://{resource.hostname}{resource.path}"
+        if self.context.cache_enabled:
+            cached = self.engine.cache.get(url, self.loop.now())
+            if cached is not None:
+                self._record_cached(state)
+                return
+
+        # Same-host reuse first: no DNS, no new connection.
+        same_host = self.pool.find_same_host(
+            resource.hostname, anonymous=anonymous
+        )
+        if same_host is not None:
+            self.pool.note_same_host_reuse()
+            self._reuse(state, same_host, anonymous)
+            return
+
+        # DNS-free ORIGIN coalescing (ideal client, §6.8).
+        if not self.context.policy.requires_dns_before_reuse and not anonymous:
+            facts = self.pool.find_coalescable(resource.hostname, ())
+            if facts is not None:
+                state.coalesced = True
+                self.pool.note_coalesced_reuse()
+                self._reuse(state, facts, anonymous)
+                return
+
+        self._resolve_then_connect(state, anonymous)
+
+    def _fetch_plain(self, state: _FetchState) -> None:
+        """Cleartext http:// subresource: DNS, raw TCP, HTTP/1.1."""
+        from repro.h2.http1 import H1ClientProtocol
+
+        def on_answer(answer) -> None:
+            if answer.empty:
+                self._record_failure(state, "NXDOMAIN")
+                return
+            state.timings.dns = (
+                NOT_APPLICABLE if answer.from_cache else answer.query_time_ms
+            )
+            state.dns_addresses = list(answer.addresses)
+            connect_started = self.loop.now()
+
+            def on_connect(transport) -> None:
+                state.timings.connect = self.loop.now() - connect_started
+                protocol = H1ClientProtocol(transport.send, self.loop.now)
+                transport.on_data = protocol.on_app_data
+
+                def on_response(response: H2Response) -> None:
+                    self._record_success(state, response,
+                                         plain_http=True)
+                    transport.close()
+
+                protocol.request(state.hostname, state.path, on_response)
+
+            self.context.network.connect(
+                self.context.client_host,
+                state.dns_addresses[0],
+                80,
+                on_connect,
+                on_refused=lambda error: self._record_failure(
+                    state, str(error)
+                ),
+            )
+
+        self.context.resolver.resolve(state.hostname, on_answer)
+
+    def _resolve_then_connect(
+        self, state: _FetchState, anonymous: bool
+    ) -> None:
+        def on_answer(answer) -> None:
+            if answer.empty:
+                self._record_failure(state, "NXDOMAIN")
+                return
+            state.timings.dns = (
+                NOT_APPLICABLE if answer.from_cache else answer.query_time_ms
+            )
+            state.dns_addresses = list(answer.addresses)
+            # Cross-host coalescing after the (browser-mandated) query.
+            if state.resource is not None and not anonymous:
+                facts = self.pool.find_coalescable(
+                    state.hostname, answer.addresses
+                )
+                if facts is not None:
+                    state.coalesced = True
+                    self.pool.note_coalesced_reuse()
+                    self._reuse(state, facts, anonymous)
+                    return
+            self._open_and_request(state, anonymous)
+
+        self.context.resolver.resolve(state.hostname, on_answer)
+
+    def _open_and_request(self, state: _FetchState, anonymous: bool) -> None:
+        connect_started = self.loop.now()
+        tls13 = self.context.tls13
+        if (
+            tls13
+            and self.context.rng is not None
+            and self.context.tls12_rate > 0
+            and self.context.rng.random() < self.context.tls12_rate
+        ):
+            tls13 = False
+        facts = self.pool.open_connection(
+            hostname=state.hostname,
+            ip=state.dns_addresses[0],
+            available_set=state.dns_addresses,
+            on_ready=lambda f: on_ready(f),
+            on_failed=lambda reason: self._record_failure(state, reason),
+            anonymous=anonymous,
+            tls13=tls13,
+        )
+
+        def on_ready(facts: ConnectionFacts) -> None:
+            session = facts.session
+            state.timings.connect = (
+                session.tcp_connected_at - connect_started
+            )
+            state.timings.ssl = (
+                session.connected_at - session.tcp_connected_at
+            )
+            self._issue(state, facts)
+
+        self._maybe_race_duplicate(state, anonymous)
+
+    def _maybe_race_duplicate(
+        self, state: _FetchState, anonymous: bool
+    ) -> None:
+        """Speculative duplicate connection (no extra DNS; §4.2)."""
+        rng = self.context.rng
+        if rng is None or self.context.speculative_rate <= 0:
+            return
+        if rng.random() >= self.context.speculative_rate:
+            return
+        self.extra_tls += 1
+        self.pool.open_connection(
+            hostname=state.hostname,
+            ip=state.dns_addresses[min(1, len(state.dns_addresses) - 1)],
+            available_set=state.dns_addresses,
+            on_ready=lambda f: None,
+            on_failed=lambda reason: None,
+            anonymous=anonymous,
+        )
+
+    def _reuse(
+        self,
+        state: _FetchState,
+        facts: ConnectionFacts,
+        anonymous: bool,
+    ) -> None:
+        state.facts = facts
+        request_start = self.loop.now()
+
+        def go() -> None:
+            # Waiting for a still-connecting (or busy H1) session shows
+            # up as HAR "blocked" time.
+            state.timings.blocked = self.loop.now() - request_start
+            self._issue(state, facts)
+
+        facts.session.when_ready(
+            go, lambda reason: self._record_failure(state, reason)
+        )
+
+    def _issue(self, state: _FetchState, facts: ConnectionFacts) -> None:
+        state.facts = facts
+        referer = []
+        if state.resource is not None:
+            # Truncated at the page, as the paper's privacy-preserving
+            # pipeline required (§5.1).
+            referer = [("referer", self.page.url)]
+        if self.context.user_agent:
+            referer.append(("user-agent", self.context.user_agent))
+
+        def on_response(response: H2Response) -> None:
+            if response.status == 421 and not state.retried_after_421:
+                # Misdirected: retry on a dedicated connection, keeping
+                # the accumulated penalty in the same HAR entry.
+                state.retried_after_421 = True
+                state.coalesced = False
+                self._open_and_request(state, anonymous=False)
+                return
+            self._record_success(state, response)
+
+        facts.session.request(state.hostname, state.path, on_response,
+                              extra_headers=referer)
+
+    # -- recording ------------------------------------------------------------
+
+    def _content_type(self, state: _FetchState) -> str:
+        if state.resource is not None:
+            return state.resource.content_type.value
+        return "text/html"
+
+    def _make_entry(self, state: _FetchState, status: int,
+                    body_size: int) -> HarEntry:
+        session = state.facts.session if state.facts else None
+        leaf = session.leaf_certificate if session else None
+        new_tls = state.timings.ssl >= 0
+        server_ip = state.facts.connected_ip if state.facts else ""
+        asn, org = 0, ""
+        if self.context.asdb is not None and server_ip:
+            info = self.context.asdb.lookup(server_ip)
+            if info is not None:
+                asn, org = info.asn, info.org
+        return HarEntry(
+            url=f"https://{state.hostname}{state.path}",
+            hostname=state.hostname,
+            path=state.path,
+            started_at=state.started_at,
+            timings=state.timings,
+            status=status,
+            server_ip=server_ip,
+            protocol=(
+                getattr(session, "negotiated_protocol", "") or "h2"
+                if session else ""
+            ),
+            content_type=self._content_type(state),
+            transfer_size=body_size,
+            dns_addresses=state.dns_addresses,
+            certificate_san=list(leaf.san) if (leaf and new_tls) else [],
+            certificate_issuer=(leaf.issuer if (leaf and new_tls) else ""),
+            asn=asn,
+            as_org=org,
+            fetch_mode=(
+                state.resource.fetch_mode.value
+                if state.resource else "normal"
+            ),
+            coalesced=state.coalesced,
+            initiator_path=(
+                (state.resource.parent or self.page.root_path)
+                if state.resource else ""
+            ),
+        )
+
+    def _record_success(
+        self, state: _FetchState, response: H2Response,
+        plain_http: bool = False,
+    ) -> None:
+        state.timings.wait = max(
+            0.0, response.headers_at - response.sent_at
+        )
+        state.timings.receive = max(
+            0.0, response.finished_at - response.headers_at
+        )
+        # Whatever wall-clock the phases above do not explain (queueing
+        # on a busy HTTP/1.1 connection, a 421 retry, waiting on a
+        # connecting session) is HAR "blocked" time, so that
+        # started_at + total == the observed finish time.
+        explained = sum(
+            max(value, 0.0)
+            for value in (
+                state.timings.dns, state.timings.connect,
+                state.timings.ssl, state.timings.send,
+                state.timings.wait, state.timings.receive,
+            )
+        )
+        state.timings.blocked = max(
+            0.0, response.finished_at - state.started_at - explained
+        )
+        entry = self._make_entry(state, response.status, len(response.body))
+        if plain_http:
+            entry.secure = False
+            entry.protocol = "http/1.1"
+            entry.url = f"http://{state.hostname}{state.path}"
+            entry.server_ip = state.dns_addresses[0]
+            if self.context.asdb is not None:
+                info = self.context.asdb.lookup(entry.server_ip)
+                if info is not None:
+                    entry.asn, entry.as_org = info.asn, info.org
+        self.entries.append(entry)
+        if state.resource is None:
+            self.root_status = response.status
+        if self.context.cache_enabled and response.status == 200:
+            self.engine.cache.store(
+                entry.url, len(response.body), self.loop.now()
+            )
+        self._discover_children(state, response.status)
+        self._done_one()
+
+    def _record_cached(self, state: _FetchState) -> None:
+        entry = self._make_entry(state, 200, 0)
+        entry.protocol = "cache"
+        self.entries.append(entry)
+        self._discover_children(state, 200)
+        self._done_one()
+
+    def _record_failure(self, state: _FetchState, reason: str) -> None:
+        entry = self._make_entry(state, 0, 0)
+        self.entries.append(entry)
+        if state.resource is None:
+            self.root_status = 0
+        self._done_one()
+
+    def _discover_children(self, state: _FetchState, status: int) -> None:
+        if status != 200:
+            return
+        is_root = state.resource is None
+        can_discover = is_root or state.resource.content_type.can_discover_children
+        if not can_discover:
+            return
+        for child in self.page.children_of(state.path):
+            self.outstanding += 1
+
+            def launch(resource=child) -> None:
+                self.outstanding -= 1  # handed over to _fetch_resource
+                self._fetch_resource(resource)
+
+            self.loop.schedule(child.discovery_delay_ms, launch)
+
+    def _done_one(self) -> None:
+        self.outstanding -= 1
+        if self.outstanding == 0 and not self.finished:
+            self.finished = True
+            self._finish()
+
+    def _finish(self) -> None:
+        on_load = max(
+            (entry.finished_at for entry in self.entries), default=0.0
+        ) - self.start_time
+        blocking = [
+            entry.finished_at
+            for entry in self.entries
+            if entry.path == self.page.root_path
+            or any(
+                resource.path == entry.path
+                and resource.content_type.is_render_blocking
+                for resource in self.page.resources
+            )
+        ]
+        on_content_load = (
+            max(blocking) - self.start_time if blocking else on_load
+        )
+        page = HarPage(
+            url=self.page.url,
+            hostname=self.page.hostname,
+            rank=self.page.rank,
+            on_content_load=on_content_load,
+            on_load=on_load,
+            success=self.root_status == 200,
+            failure_reason="" if self.root_status == 200 else
+            f"root status {self.root_status}",
+            extra_tls_connections=self.extra_tls,
+        )
+        self.pool.close_all()
+        self.on_complete(HarArchive(page=page, entries=self.entries))
+
+
+class BrowserEngine:
+    """Loads pages with a given policy; one engine per browser profile."""
+
+    def __init__(self, context: BrowserContext) -> None:
+        self.context = context
+        self.cache = BrowserCache(enabled=context.cache_enabled)
+        self.loads: List[PageLoad] = []
+
+    def load(
+        self, page: WebPage, on_complete: Callable[[HarArchive], None]
+    ) -> PageLoad:
+        """Begin loading ``page``; ``on_complete`` gets the HAR archive.
+
+        Run the network's event loop to drive the load to completion.
+        """
+        load = PageLoad(self, page, on_complete)
+        self.loads.append(load)
+        load.start()
+        return load
+
+    def load_blocking(self, page: WebPage) -> HarArchive:
+        """Convenience: load and run the loop until the page finishes."""
+        result: List[HarArchive] = []
+        self.load(page, result.append)
+        self.context.network.loop.run_until_idle()
+        if not result:
+            raise RuntimeError(f"page load for {page.url} never completed")
+        return result[0]
+
+    def new_session(self) -> None:
+        """Fresh browser session: flush the resource cache, the DNS
+        cache, and TLS session tickets, as the paper's active
+        measurements did between loads (§3.1)."""
+        self.cache.flush()
+        self.context.resolver.flush_cache()
+        if self.context.tls_session_cache is not None:
+            self.context.tls_session_cache.clear()

@@ -1,0 +1,135 @@
+"""Connection-coalescing policies (paper §2.3).
+
+Given an existing connection's facts and a candidate hostname (with its
+fresh DNS answer, when the policy wants one), a policy decides whether
+the connection may be reused.  Every policy requires the connection's
+certificate to cover the hostname -- without that, reuse would draw a
+``421 Misdirected Request`` or an outright authentication failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Sequence
+
+
+@dataclass
+class ConnectionFacts:
+    """What a policy may inspect about an open connection."""
+
+    session: object  # H2ClientSession-compatible
+    sni: str
+    connected_ip: str
+    #: All addresses in the DNS answer that produced this connection.
+    available_set: FrozenSet[str] = frozenset()
+    anonymous_partition: bool = False
+
+    def certificate_covers(self, hostname: str) -> bool:
+        return self.session.certificate_covers(hostname)
+
+    def origin_set_covers(self, hostname: str) -> bool:
+        return self.session.origin_set_covers(hostname)
+
+    @property
+    def can_multiplex(self) -> bool:
+        return getattr(self.session, "can_multiplex", True)
+
+
+class CoalescingPolicy:
+    """Decides cross-hostname connection reuse."""
+
+    name = "base"
+    #: Whether a DNS answer must be obtained before attempting reuse.
+    #: True for real browsers -- both Chromium and Firefox "begin with a
+    #: DNS query for subresources, despite being defined as optional in
+    #: the specification" (§2.3).
+    requires_dns_before_reuse = True
+
+    def can_reuse(
+        self,
+        facts: ConnectionFacts,
+        hostname: str,
+        dns_addresses: Sequence[str],
+    ) -> bool:
+        raise NotImplementedError
+
+
+class NoCoalescingPolicy(CoalescingPolicy):
+    """Never coalesce across hostnames (HTTP/1.1-era behaviour)."""
+
+    name = "none"
+
+    def can_reuse(self, facts, hostname, dns_addresses):
+        return False
+
+
+class ChromiumPolicy(CoalescingPolicy):
+    """Chromium: IP match against the connected address only.
+
+    "Chromium keeps only IP_A in its connected set and discards IP_B,
+    causing the transitivity with IPs for the subresource to be lost"
+    (§2.3).  Reuse requires the subresource's DNS answer to contain the
+    exact address the connection was made to, and SAN coverage.
+    """
+
+    name = "chromium"
+
+    def can_reuse(self, facts, hostname, dns_addresses):
+        if not facts.can_multiplex:
+            return False
+        if not facts.certificate_covers(hostname):
+            return False
+        return facts.connected_ip in dns_addresses
+
+
+class FirefoxPolicy(CoalescingPolicy):
+    """Firefox: transitive IP matching plus (optionally) ORIGIN frames.
+
+    "Firefox, alongside the connected-set, additionally caches the
+    available-set of addresses returned in the DNS response" and reuses
+    on any overlap (§2.3).  With ``origin_frames=True`` (Firefox >= 75
+    with the pref enabled), a hostname in the server's advertised
+    origin set is reusable regardless of IP overlap -- but Firefox
+    still performs the blocking DNS query first (§6.8), so
+    ``requires_dns_before_reuse`` stays True.
+    """
+
+    name = "firefox"
+
+    def __init__(self, origin_frames: bool = True) -> None:
+        self.origin_frames = origin_frames
+        if origin_frames:
+            self.name = "firefox+origin"
+
+    def can_reuse(self, facts, hostname, dns_addresses):
+        if not facts.can_multiplex:
+            return False
+        if not facts.certificate_covers(hostname):
+            return False
+        if self.origin_frames and facts.origin_set_covers(hostname):
+            return True
+        return bool(facts.available_set.intersection(dns_addresses))
+
+
+class IdealOriginPolicy(CoalescingPolicy):
+    """The §6.8 recommendation: respect the ORIGIN, skip the DNS.
+
+    Certificate SAN plus origin-set membership is sufficient authority;
+    no DNS query is made for such subresources, eliminating the
+    render-blocking queries and their plaintext exposure.  Hostnames
+    *not* in any origin set are resolved normally and may still reuse
+    connections via Firefox-style available-set transitivity -- the
+    ideal client is a strict superset of Firefox, never worse.
+    """
+
+    name = "ideal-origin"
+    requires_dns_before_reuse = False
+
+    def can_reuse(self, facts, hostname, dns_addresses):
+        if not facts.can_multiplex:
+            return False
+        if not facts.certificate_covers(hostname):
+            return False
+        if facts.origin_set_covers(hostname):
+            return True
+        return bool(facts.available_set.intersection(dns_addresses))

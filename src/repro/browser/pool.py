@@ -1,0 +1,175 @@
+"""Browser connection pool.
+
+Owns the open sessions for one page-load context, answers
+"can anything serve this hostname?", and opens new connections when
+nothing can.  Reuse comes in two flavours the statistics distinguish:
+
+* *same-host reuse* -- another request to a hostname the pool already
+  has a connection for (ordinary HTTP/2 behaviour);
+* *coalesced reuse* -- a request to a different hostname served over an
+  existing connection, authorized by the active
+  :class:`~repro.browser.policy.CoalescingPolicy`.
+
+Requests with ``crossorigin=anonymous`` / ``fetch()`` semantics live in
+a separate credential-less partition and never reuse (or donate)
+connections across the partition boundary, which is the §5.3
+observation that capped coalescing in the deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.browser.policy import CoalescingPolicy, ConnectionFacts
+from repro.h2.client import H2ClientSession
+from repro.h2.tls_channel import TlsClientConfig
+from repro.netsim.network import Host, Network
+
+#: Browsers cap parallel HTTP/1.1 connections per host; 6 is the
+#: long-standing Chromium/Firefox default.
+MAX_H1_CONNECTIONS_PER_HOST = 6
+
+
+@dataclass
+class PoolStats:
+    connections_opened: int = 0
+    tls_handshakes: int = 0
+    same_host_reuses: int = 0
+    coalesced_reuses: int = 0
+    connection_failures: int = 0
+
+
+class ConnectionPool:
+    """Session registry plus policy-driven reuse decisions."""
+
+    def __init__(
+        self,
+        network: Network,
+        client_host: Host,
+        policy: CoalescingPolicy,
+        tls_config_factory: Callable[[str], TlsClientConfig],
+        origin_aware: bool = True,
+        port: int = 443,
+    ) -> None:
+        self.network = network
+        self.client_host = client_host
+        self.policy = policy
+        self.tls_config_factory = tls_config_factory
+        self.origin_aware = origin_aware
+        self.port = port
+        self.connections: List[ConnectionFacts] = []
+        self.stats = PoolStats()
+
+    # -- lookup -------------------------------------------------------------
+
+    def _usable(self, facts: ConnectionFacts) -> bool:
+        session = facts.session
+        return not session.closed and session.failed is None
+
+    def find_same_host(
+        self, hostname: str, anonymous: bool = False
+    ) -> Optional[ConnectionFacts]:
+        """An existing connection whose SNI is this hostname.
+
+        HTTP/1.1 sessions are only returned when idle; busy ones force
+        the caller to open another connection (browser-style).
+        """
+        idle_h1: Optional[ConnectionFacts] = None
+        h1_count = 0
+        for facts in self.connections:
+            if facts.sni != hostname or not self._usable(facts):
+                continue
+            if facts.anonymous_partition != anonymous:
+                continue
+            if facts.can_multiplex:
+                return facts
+            h1_count += 1
+            if not facts.session.h1_busy and idle_h1 is None:
+                idle_h1 = facts
+        if idle_h1 is not None:
+            return idle_h1
+        if h1_count >= MAX_H1_CONNECTIONS_PER_HOST:
+            # At the cap: reuse the first (requests will queue on it).
+            for facts in self.connections:
+                if facts.sni == hostname and self._usable(facts) \
+                        and facts.anonymous_partition == anonymous:
+                    return facts
+        return None
+
+    def find_coalescable(
+        self,
+        hostname: str,
+        dns_addresses: Sequence[str],
+        anonymous: bool = False,
+    ) -> Optional[ConnectionFacts]:
+        """An existing connection the policy lets this hostname reuse."""
+        if anonymous:
+            return None  # credential-less fetches do not coalesce (§5.3)
+        for facts in self.connections:
+            if not self._usable(facts) or facts.anonymous_partition:
+                continue
+            if facts.sni == hostname:
+                continue  # that would be same-host reuse
+            if self.policy.can_reuse(facts, hostname, dns_addresses):
+                return facts
+        return None
+
+    # -- opening -------------------------------------------------------------
+
+    def open_connection(
+        self,
+        hostname: str,
+        ip: str,
+        available_set: Sequence[str],
+        on_ready: Callable[[ConnectionFacts], None],
+        on_failed: Callable[[str], None],
+        anonymous: bool = False,
+        tls13: Optional[bool] = None,
+    ) -> ConnectionFacts:
+        """Open a new connection to ``ip`` with SNI ``hostname``."""
+        tls_config = self.tls_config_factory(hostname)
+        if tls13 is not None:
+            tls_config.tls13 = tls13
+        session = H2ClientSession(
+            self.network,
+            self.client_host,
+            ip,
+            tls_config,
+            port=self.port,
+            origin_aware=self.origin_aware,
+        )
+        facts = ConnectionFacts(
+            session=session,
+            sni=hostname,
+            connected_ip=ip,
+            available_set=frozenset(available_set),
+            anonymous_partition=anonymous,
+        )
+        self.connections.append(facts)
+        self.stats.connections_opened += 1
+
+        def ready() -> None:
+            self.stats.tls_handshakes += 1
+            on_ready(facts)
+
+        def failed(reason: str) -> None:
+            self.stats.connection_failures += 1
+            on_failed(reason)
+
+        session.connect(on_ready=ready, on_failed=failed)
+        return facts
+
+    def note_same_host_reuse(self) -> None:
+        self.stats.same_host_reuses += 1
+
+    def note_coalesced_reuse(self) -> None:
+        self.stats.coalesced_reuses += 1
+
+    def close_all(self) -> None:
+        for facts in self.connections:
+            facts.session.close()
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for facts in self.connections if self._usable(facts))

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``crawl``   -- generate + crawl a synthetic web, print Tables 1-3
+* ``model``   -- run the §4 model (Figure 3, headline, cert plan)
+* ``deploy``  -- run the §5 deployment (Figures 6/7b, passive pipeline)
+* ``privacy`` -- the §6.2 privacy exposure comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import format_pct, render_cdf, render_table
+from repro.browser import (
+    ChromiumPolicy,
+    FirefoxPolicy,
+    IdealOriginPolicy,
+    NoCoalescingPolicy,
+)
+
+POLICIES = {
+    "chromium": ChromiumPolicy,
+    "firefox": lambda: FirefoxPolicy(origin_frames=False),
+    "firefox+origin": lambda: FirefoxPolicy(origin_frames=True),
+    "ideal-origin": IdealOriginPolicy,
+    "none": NoCoalescingPolicy,
+}
+
+
+def _crawl(sites: int, seed: int, policy_name: str):
+    from repro.dataset.crawler import Crawler
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.world import build_world
+
+    world = build_world(DatasetConfig(site_count=sites, seed=seed))
+    crawler = Crawler(world, policy=POLICIES[policy_name](),
+                      speculative_rate=0.10)
+    return world, crawler.crawl()
+
+
+def cmd_crawl(args) -> int:
+    from repro.dataset import characterize
+
+    world, result = _crawl(args.sites, args.seed, args.policy)
+    ok = result.successes
+    print(f"crawled {result.attempted} sites with the {args.policy} "
+          f"policy; {result.success_count} succeeded\n")
+    rows = characterize.table1(result.archives)
+    print(render_table(
+        "Table 1 -- crawl summary",
+        ["Rank", "Attempted", "Success", "#Reqs", "PLT (ms)", "#DNS",
+         "#TLS"],
+        [(r.bucket_label, r.attempted, r.success,
+          f"{r.median_requests:.0f}", f"{r.median_plt_ms:.0f}",
+          f"{r.median_dns:.0f}", f"{r.median_tls:.0f}") for r in rows],
+    ))
+    print()
+    print(render_table(
+        "Table 2 -- top destination ASes",
+        ["ASN", "Org", "#Req", "%"],
+        [(asn, org, count, format_pct(share))
+         for asn, org, count, share in characterize.table2(ok)],
+    ))
+    protocols, security = characterize.table3(ok)
+    total = sum(protocols.values())
+    print()
+    print(render_table(
+        "Table 3 -- protocols",
+        ["Protocol", "#Req", "%"],
+        [(name, count, format_pct(count / total))
+         for name, count in sorted(protocols.items(),
+                                   key=lambda kv: -kv[1])],
+    ))
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.core import figure3, headline_reductions, plan_certificates
+
+    world, result = _crawl(args.sites, args.seed, "chromium")
+    data = figure3(result.archives)
+    print(render_cdf(
+        "Figure 3 -- per-page DNS/TLS counts",
+        [("measured DNS", data.measured_dns),
+         ("measured TLS", data.measured_tls),
+         ("ideal IP", data.ideal_ip),
+         ("ideal ORIGIN", data.ideal_origin)],
+    ))
+    headline = headline_reductions(result.archives)
+    print(f"\nheadline: validation reduction "
+          f"{format_pct(headline['validation_reduction'])}, "
+          f"DNS reduction {format_pct(headline['dns_reduction'])} "
+          "(paper: 68.75% / 64.28%)")
+    plan = plan_certificates(world)
+    print(f"certificates needing no change: "
+          f"{format_pct(plan.unchanged_fraction)} (paper: 62.41%); "
+          f"<=10 additions covers "
+          f"{format_pct(plan.fraction_with_changes_at_most(10))}")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    from repro.dataset.world import build_world
+    from repro.deployment import (
+        ActiveMeasurement,
+        DeploymentExperiment,
+        PassivePipeline,
+    )
+    from repro.deployment.active import FIREFOX_91_UA
+    from repro.deployment.experiment import Group, deployment_world_config
+
+    world = build_world(
+        deployment_world_config(site_count=args.sites, seed=args.seed)
+    )
+    experiment = DeploymentExperiment(world)
+    experiment.reissue_certificates()
+    print(f"sample: {len(experiment.sample)} sites; certificates "
+          "reissued with byte-equal SAN additions")
+
+    if args.phase == "ip":
+        experiment.deploy_ip_coalescing()
+        active = ActiveMeasurement(experiment, origin_frames=False,
+                                   user_agent=FIREFOX_91_UA)
+    else:
+        experiment.enable_origin_frames()
+        active = ActiveMeasurement(experiment, origin_frames=True)
+    pipeline = PassivePipeline(experiment, sampling_rate=1.0)
+    pipeline.attach()
+    result = active.run()
+    pipeline.detach()
+
+    print()
+    print(render_table(
+        f"Figure 7 -- new TLS connections to {experiment.third_party} "
+        f"({args.phase} phase)",
+        ["#New conns", "Experiment", "Control"],
+        [(count,
+          format_pct(result.fraction_with(Group.EXPERIMENT, count)),
+          format_pct(result.fraction_with(Group.CONTROL, count)))
+         for count in range(5)],
+    ))
+    print(f"\npassive reduction in new third-party TLS connections: "
+          f"{format_pct(pipeline.tls_connection_reduction())}")
+    return 0
+
+
+def cmd_privacy(args) -> int:
+    from repro.core import compare_privacy
+
+    _, result = _crawl(args.sites, args.seed, "chromium")
+    comparison = compare_privacy(result.successes)
+    medians = comparison.median_signals()
+    print(render_table(
+        "Privacy -- plaintext signals per page (paper §6.2)",
+        ["Client", "median DNS+SNI signals"],
+        [("measured (today)", f"{medians['measured']:.0f}"),
+         ("ideal ORIGIN client", f"{medians['ideal_origin']:.0f}")],
+    ))
+    print(f"\nsignal reduction "
+          f"{format_pct(comparison.signal_reduction())}; median "
+          f"hostnames hidden per page "
+          f"{comparison.median_hostnames_hidden():.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Respect the ORIGIN!' (IMC 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--sites", type=int, default=150,
+                       help="synthetic sites to generate (default 150)")
+        p.add_argument("--seed", type=int, default=2022)
+
+    crawl = sub.add_parser("crawl", help="crawl and characterize")
+    common(crawl)
+    crawl.add_argument("--policy", choices=sorted(POLICIES),
+                       default="chromium")
+    crawl.set_defaults(func=cmd_crawl)
+
+    model = sub.add_parser("model", help="run the §4 model")
+    common(model)
+    model.set_defaults(func=cmd_model)
+
+    deploy = sub.add_parser("deploy", help="run the §5 deployment")
+    common(deploy)
+    deploy.add_argument("--phase", choices=("ip", "origin"),
+                        default="origin")
+    deploy.set_defaults(func=cmd_deploy)
+
+    privacy = sub.add_parser("privacy", help="§6.2 exposure analysis")
+    common(privacy)
+    privacy.set_defaults(func=cmd_privacy)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""The non-compliant HTTP/2 middlebox of §6.7.
+
+A TLS-terminating network agent (antivirus / corporate proxy) sits on
+path for some clients.  RFC 7540 §4.1 requires unknown frame types to
+be ignored; the buggy agent instead tears the connection down when it
+sees one -- which is exactly what an ORIGIN frame (type 0xC) looks
+like to software written before RFC 8336.
+
+The middlebox installs as a network tap and inspects server-to-client
+bytes: it parses the simulated TLS records, reassembles the HTTP/2
+frame stream inside APPDATA records, and checks every frame type
+against its known set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.h2.frames import FRAME_HEADER_LEN, KNOWN_TYPES
+from repro.h2.tls_channel import REC_APPDATA, parse_records
+from repro.netsim.network import Host, Network
+from repro.netsim.transport import Transport
+
+
+@dataclass
+class MiddleboxStats:
+    connections_inspected: int = 0
+    frames_inspected: int = 0
+    unknown_frames_seen: int = 0
+    connections_torn_down: int = 0
+
+
+class _ConnectionInspector:
+    """Per-connection reassembly state for one inspected flow."""
+
+    def __init__(self, middlebox: "BuggyMiddlebox",
+                 transport: Transport) -> None:
+        self.middlebox = middlebox
+        self.transport = transport
+        self._record_buffer = b""
+        self._frame_buffer = b""
+        self.dead = False
+
+    def inspect(self, data: bytes) -> bool:
+        """Returns False to abort the connection."""
+        if self.dead:
+            return False
+        self._record_buffer += data
+        records, self._record_buffer = parse_records(self._record_buffer)
+        for record_type, payload in records:
+            if record_type != REC_APPDATA:
+                continue
+            self._frame_buffer += payload
+            if not self._scan_frames():
+                self.dead = True
+                return False
+        return True
+
+    def _scan_frames(self) -> bool:
+        while len(self._frame_buffer) >= FRAME_HEADER_LEN:
+            length = int.from_bytes(self._frame_buffer[0:3], "big")
+            if len(self._frame_buffer) < FRAME_HEADER_LEN + length:
+                return True  # wait for more bytes
+            frame_type = self._frame_buffer[3]
+            self._frame_buffer = self._frame_buffer[
+                FRAME_HEADER_LEN + length:
+            ]
+            self.middlebox.stats.frames_inspected += 1
+            if frame_type not in self.middlebox.known_types:
+                self.middlebox.stats.unknown_frames_seen += 1
+                if self.middlebox.tear_down_on_unknown:
+                    # The §6.7 bug: kill the TLS connection instead of
+                    # ignoring the frame.
+                    self.middlebox.stats.connections_torn_down += 1
+                    return False
+        return True
+
+
+class BuggyMiddlebox:
+    """A network tap that polices HTTP/2 frames for selected clients.
+
+    ``tear_down_on_unknown=True`` reproduces the §6.7 failure; setting
+    it to False models the vendor's eventual fix (ignore and pass).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        protected_clients: Set[str],
+        tear_down_on_unknown: bool = True,
+    ) -> None:
+        self.network = network
+        self.protected_clients = set(protected_clients)
+        self.tear_down_on_unknown = tear_down_on_unknown
+        #: Types the agent recognizes: RFC 7540 only -- no ORIGIN.
+        self.known_types = frozenset(KNOWN_TYPES)
+        self.stats = MiddleboxStats()
+        self._installed = False
+
+    def install(self) -> None:
+        if not self._installed:
+            self.network.add_tap(self._tap)
+            self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed:
+            self.network.remove_tap(self._tap)
+            self._installed = False
+
+    def fix(self) -> None:
+        """Apply the vendor fix confirmed in September 2022 (§6.7)."""
+        self.tear_down_on_unknown = False
+
+    def _tap(
+        self,
+        client: Host,
+        server_ip: str,
+        port: int,
+        client_end: Transport,
+        server_end: Transport,
+    ) -> None:
+        if client.name not in self.protected_clients:
+            return
+        self.stats.connections_inspected += 1
+        inspector = _ConnectionInspector(self, server_end)
+        server_end.outbound_inspector = inspector.inspect

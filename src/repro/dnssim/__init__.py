@@ -1,0 +1,46 @@
+"""DNS simulation substrate.
+
+Provides authoritative zones, answer-rotation (load-balancing) policies,
+and a caching resolver that runs over the simulated event loop.  The
+resolver is where two paper-relevant behaviours live:
+
+* **Multi-address answers with rotation** -- the raw material for the
+  IP-coalescing transitivity differences between Chromium and Firefox
+  (paper §2.3).
+* **Plaintext-query accounting** -- every query that would travel as
+  cleartext UDP/TCP-53 is counted, the quantity ORIGIN-frame coalescing
+  removes from the network path (paper §6.2).
+"""
+
+from repro.dnssim.records import RecordType, ResourceRecord, DnsAnswer
+from repro.dnssim.zone import Zone, ZoneError
+from repro.dnssim.loadbalance import (
+    AnswerPolicy,
+    FixedOrderPolicy,
+    RoundRobinPolicy,
+    RandomRotationPolicy,
+    SingleAddressPolicy,
+)
+from repro.dnssim.resolver import (
+    AuthoritativeServer,
+    CachingResolver,
+    NxDomain,
+    ResolverStats,
+)
+
+__all__ = [
+    "RecordType",
+    "ResourceRecord",
+    "DnsAnswer",
+    "Zone",
+    "ZoneError",
+    "AnswerPolicy",
+    "FixedOrderPolicy",
+    "RoundRobinPolicy",
+    "RandomRotationPolicy",
+    "SingleAddressPolicy",
+    "AuthoritativeServer",
+    "CachingResolver",
+    "NxDomain",
+    "ResolverStats",
+]

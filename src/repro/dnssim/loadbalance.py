@@ -1,0 +1,85 @@
+"""Answer-ordering (load-balancing) policies.
+
+DNS operators "have long been able to return any or all addresses from
+a set for load-balancing or other purposes" (paper §2.3, citing RFC
+1794).  The policy chosen here is what creates -- or destroys -- the
+IP-set overlap that Chromium and Firefox use for coalescing decisions,
+so it is a first-class, swappable component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class AnswerPolicy:
+    """Base class: reorder/trim the address list for one answer."""
+
+    def order(self, name: str, addresses: List[str]) -> List[str]:
+        raise NotImplementedError
+
+
+class FixedOrderPolicy(AnswerPolicy):
+    """Return addresses exactly as published in the zone."""
+
+    def order(self, name: str, addresses: List[str]) -> List[str]:
+        return list(addresses)
+
+
+class RoundRobinPolicy(AnswerPolicy):
+    """Rotate the full set by one position per query, per name.
+
+    Classic BIND-style round robin: every client sees all addresses but
+    in a rotating order, so consecutive queries overlap completely --
+    the friendliest case for Firefox-style transitive coalescing.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: Dict[str, int] = {}
+
+    def order(self, name: str, addresses: List[str]) -> List[str]:
+        if not addresses:
+            return []
+        offset = self._offsets.get(name, 0)
+        self._offsets[name] = (offset + 1) % len(addresses)
+        return addresses[offset:] + addresses[:offset]
+
+
+class RandomRotationPolicy(AnswerPolicy):
+    """Return a random subset of size ``answer_size`` in random order.
+
+    Models large-CDN behaviour where each query draws a few addresses
+    from a big pool.  With ``answer_size`` < pool size, two queries may
+    share no address at all -- the case where Chromium's strict
+    connected-set matching loses coalescing opportunities that
+    Firefox's available-set transitivity can still find.
+    """
+
+    def __init__(
+        self, rng: np.random.Generator, answer_size: Optional[int] = None
+    ) -> None:
+        self._rng = rng
+        self._answer_size = answer_size
+
+    def order(self, name: str, addresses: List[str]) -> List[str]:
+        if not addresses:
+            return []
+        size = len(addresses)
+        if self._answer_size is not None:
+            size = min(self._answer_size, size)
+        picked = self._rng.choice(len(addresses), size=size, replace=False)
+        return [addresses[i] for i in picked]
+
+
+class SingleAddressPolicy(AnswerPolicy):
+    """Always return exactly one (the first) address.
+
+    Models anycast front-ends -- and the deployment configuration in
+    paper §5.2, where one dedicated address served every experiment
+    domain so that IP-based coalescing was guaranteed to match.
+    """
+
+    def order(self, name: str, addresses: List[str]) -> List[str]:
+        return list(addresses[:1])

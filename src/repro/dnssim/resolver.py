@@ -1,0 +1,296 @@
+"""Authoritative server and caching stub resolver.
+
+The :class:`AuthoritativeServer` aggregates zones and answers queries
+synchronously (zone data is in-process).  The :class:`CachingResolver`
+is what browsers use: it adds query latency on the simulated event
+loop, a TTL cache keyed on the simulated clock, CNAME chasing, and
+per-query accounting used by the privacy analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dnssim.loadbalance import AnswerPolicy, FixedOrderPolicy
+from repro.dnssim.records import (
+    CacheEntry,
+    DnsAnswer,
+    RecordType,
+    normalize_name,
+)
+from repro.dnssim.zone import Zone
+from repro.netsim.events import EventLoop
+
+
+class NxDomain(Exception):
+    """The queried name does not exist in any known zone."""
+
+
+#: Maximum CNAME chain length before the resolver gives up.
+MAX_CNAME_DEPTH = 8
+
+#: Default median DNS query latency in ms; matches typical recursive
+#: resolver performance for cache-miss lookups from a home network.
+DEFAULT_QUERY_LATENCY_MS = 20.0
+
+
+@dataclass
+class ResolverStats:
+    """Counters consumed by the privacy analysis (paper §6.2)."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    nxdomain: int = 0
+    plaintext_queries: int = 0
+    encrypted_queries: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+
+class AuthoritativeServer:
+    """All authoritative zone data reachable by the resolver."""
+
+    def __init__(self, answer_policy: Optional[AnswerPolicy] = None) -> None:
+        self._zones: List[Zone] = []
+        self._by_origin: Dict[str, Zone] = {}
+        self._policy = answer_policy or FixedOrderPolicy()
+
+    @property
+    def answer_policy(self) -> AnswerPolicy:
+        return self._policy
+
+    @answer_policy.setter
+    def answer_policy(self, policy: AnswerPolicy) -> None:
+        self._policy = policy
+
+    def add_zone(self, zone: Zone) -> Zone:
+        if zone.origin in self._by_origin:
+            raise ValueError(f"zone {zone.origin!r} already registered")
+        self._zones.append(zone)
+        self._by_origin[zone.origin] = zone
+        return zone
+
+    def zone_for(self, name: str) -> Optional[Zone]:
+        """Longest-suffix matching zone for ``name``.
+
+        Indexed by origin, walking the name's suffixes from most to
+        least specific (O(labels), not O(zones)).
+        """
+        name = normalize_name(name)
+        suffix = name
+        while suffix:
+            zone = self._by_origin.get(suffix)
+            if zone is not None:
+                return zone
+            if "." not in suffix:
+                return None
+            suffix = suffix.split(".", 1)[1]
+        return None
+
+    def query(self, name: str) -> Tuple[List[str], float, Tuple[str, ...]]:
+        """Resolve ``name`` to (addresses, min_ttl, cname_chain).
+
+        Follows CNAME chains across zones; raises :class:`NxDomain` when
+        no zone has data for the name.
+        """
+        chain: List[str] = []
+        current = normalize_name(name)
+        for _ in range(MAX_CNAME_DEPTH):
+            zone = self.zone_for(current)
+            if zone is None:
+                raise NxDomain(current)
+            records = zone.lookup(current, RecordType.A)
+            if not records:
+                raise NxDomain(current)
+            if records[0].rtype is RecordType.CNAME:
+                chain.append(records[0].value)
+                current = records[0].value
+                continue
+            addresses = self._policy.order(
+                current, [r.value for r in records]
+            )
+            min_ttl = min(r.ttl for r in records)
+            return addresses, min_ttl, tuple(chain)
+        raise NxDomain(f"CNAME chain too long resolving {name}")
+
+
+class CachingResolver:
+    """A stub resolver with TTL cache over the simulated event loop."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        authority: AuthoritativeServer,
+        rng: Optional[np.random.Generator] = None,
+        median_latency_ms: float = DEFAULT_QUERY_LATENCY_MS,
+        latency_sigma: float = 0.4,
+        encrypted_transport: bool = False,
+    ) -> None:
+        self._loop = loop
+        self._authority = authority
+        self._rng = rng
+        self._median_latency = median_latency_ms
+        self._latency_sigma = latency_sigma
+        self.encrypted_transport = encrypted_transport
+        self._cache: Dict[str, CacheEntry] = {}
+        #: In-flight queries: name -> callbacks awaiting the answer.
+        #: Browsers coalesce concurrent lookups for the same name, so a
+        #: second request while one is outstanding joins it rather than
+        #: issuing another wire query.
+        self._in_flight: Dict[str, List[Callable[[DnsAnswer], None]]] = {}
+        self.stats = ResolverStats()
+
+    # -- latency -----------------------------------------------------------
+
+    def _draw_latency(self) -> float:
+        """Lognormal latency around the configured median.
+
+        A lognormal with sigma 0.4 around a 20ms median gives the
+        long-tailed profile measured for real recursive resolution.
+        """
+        if self._rng is None or self._latency_sigma <= 0:
+            return self._median_latency
+        return float(
+            self._median_latency
+            * np.exp(self._rng.normal(0.0, self._latency_sigma))
+        )
+
+    # -- cache -------------------------------------------------------------
+
+    def flush_cache(self) -> None:
+        """Drop every cached answer (new browser session semantics)."""
+        self._cache.clear()
+
+    def _cache_get(self, name: str) -> Optional[DnsAnswer]:
+        entry = self._cache.get(name)
+        if entry is None:
+            return None
+        if entry.expires_at <= self._loop.now():
+            del self._cache[name]
+            return None
+        entry.hits += 1
+        answer = DnsAnswer(
+            name=entry.answer.name,
+            addresses=list(entry.answer.addresses),
+            ttl=entry.answer.ttl,
+            cname_chain=entry.answer.cname_chain,
+            from_cache=True,
+            query_time_ms=0.0,
+            encrypted_transport=entry.answer.encrypted_transport,
+        )
+        return answer
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(
+        self,
+        name: str,
+        callback: Callable[[DnsAnswer], None],
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Resolve asynchronously; ``callback`` gets the answer.
+
+        Cache hits complete on the next loop turn with zero latency;
+        misses complete after a drawn query latency.  Failures go to
+        ``on_error`` (or are delivered as an empty answer when no error
+        handler is given, which is how browsers experience NXDOMAIN).
+        """
+        name = normalize_name(name)
+        self.stats.queries += 1
+        cached = self._cache_get(name)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self._loop.schedule(0.0, lambda: callback(cached))
+            return
+
+        waiters = self._in_flight.get(name)
+        if waiters is not None:
+            # Join the outstanding query; the joiner is served "from
+            # cache" (it costs no additional wire query of its own).
+            def joined(answer: DnsAnswer) -> None:
+                callback(DnsAnswer(
+                    name=answer.name,
+                    addresses=list(answer.addresses),
+                    ttl=answer.ttl,
+                    cname_chain=answer.cname_chain,
+                    from_cache=True,
+                    query_time_ms=0.0,
+                    encrypted_transport=answer.encrypted_transport,
+                ))
+
+            waiters.append(joined)
+            return
+        self._in_flight[name] = []
+
+        if self.encrypted_transport:
+            self.stats.encrypted_queries += 1
+        else:
+            self.stats.plaintext_queries += 1
+        latency = self._draw_latency()
+
+        def complete() -> None:
+            waiting = self._in_flight.pop(name, [])
+            try:
+                addresses, ttl, chain = self._authority.query(name)
+            except NxDomain as error:
+                self.stats.nxdomain += 1
+                empty = DnsAnswer(name=name, addresses=[], ttl=0.0,
+                                  query_time_ms=latency)
+                if on_error is not None:
+                    on_error(error)
+                else:
+                    callback(empty)
+                for waiter in waiting:
+                    waiter(empty)
+                return
+            answer = DnsAnswer(
+                name=name,
+                addresses=addresses,
+                ttl=ttl,
+                cname_chain=chain,
+                from_cache=False,
+                query_time_ms=latency,
+                encrypted_transport=self.encrypted_transport,
+            )
+            self._cache[name] = CacheEntry(
+                answer=answer, expires_at=self._loop.now() + ttl
+            )
+            callback(answer)
+            for waiter in waiting:
+                waiter(answer)
+
+        self._loop.schedule(latency, complete)
+
+    def resolve_now(self, name: str) -> DnsAnswer:
+        """Synchronous resolution for model/analysis code.
+
+        Uses the cache and authority directly without consuming
+        simulated time.  Raises :class:`NxDomain` on failure.
+        """
+        name = normalize_name(name)
+        self.stats.queries += 1
+        cached = self._cache_get(name)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        if self.encrypted_transport:
+            self.stats.encrypted_queries += 1
+        else:
+            self.stats.plaintext_queries += 1
+        try:
+            addresses, ttl, chain = self._authority.query(name)
+        except NxDomain:
+            self.stats.nxdomain += 1
+            raise
+        answer = DnsAnswer(
+            name=name, addresses=addresses, ttl=ttl, cname_chain=chain
+        )
+        self._cache[name] = CacheEntry(
+            answer=answer, expires_at=self._loop.now() + ttl
+        )
+        return answer

@@ -1,0 +1,401 @@
+"""HTTP/2 client session with ORIGIN-set tracking.
+
+A :class:`H2ClientSession` owns one TLS+H2 connection: it connects,
+performs the handshake, exchanges SETTINGS, surfaces the server's
+ORIGIN frame (if any), and multiplexes requests.  The browser layer's
+connection pool decides *which* session may serve a hostname; this
+class only reports the facts a policy needs (certificate chain,
+origin set, connected IP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.h2 import events as ev
+from repro.h2.connection import H2Connection, Role
+from repro.h2.errors import ErrorCode, H2ConnectionError
+from repro.h2.tls_channel import TlsClientChannel, TlsClientConfig
+from repro.netsim.network import Host, Network
+from repro.netsim.transport import Transport
+from repro.tlspki.certificate import Certificate
+
+Header = Tuple[str, str]
+
+
+@dataclass
+class H2Response:
+    """A fully received response, with the timestamps HAR entries need."""
+
+    stream_id: int
+    status: int
+    headers: List[Header]
+    body: bytes
+    authority: str
+    path: str
+    sent_at: float = 0.0
+    headers_at: float = 0.0
+    finished_at: float = 0.0
+
+
+@dataclass
+class PendingRequest:
+    authority: str
+    path: str
+    callback: Callable[[H2Response], None]
+    headers: List[Header] = field(default_factory=list)
+    body: bytearray = field(default_factory=bytearray)
+    status: int = 0
+    sent_at: float = 0.0
+    headers_at: float = 0.0
+
+
+class H2ClientSession:
+    """One client connection to one server IP."""
+
+    def __init__(
+        self,
+        network: Network,
+        client_host: Host,
+        server_ip: str,
+        tls_config: TlsClientConfig,
+        port: int = 443,
+        origin_aware: bool = True,
+        secondary_certs: bool = False,
+    ) -> None:
+        self.network = network
+        self.client_host = client_host
+        self.server_ip = server_ip
+        self.port = port
+        self.tls_config = tls_config
+        self.origin_aware = origin_aware
+        self.secondary_certs = secondary_certs
+        #: Validated secondary chains (draft-ietf-httpbis-http2-
+        #: secondary-certs); they extend this connection's authority.
+        self.secondary_chains: List[List[Certificate]] = []
+        self.on_secondary_certificate: Optional[
+            Callable[[Certificate], None]
+        ] = None
+        self.conn: Optional[H2Connection] = None
+        self.channel: Optional[TlsClientChannel] = None
+        self.server_chain: List[Certificate] = []
+        self.ready = False
+        self.failed: Optional[str] = None
+        self.closed = False
+        self.connect_started_at: Optional[float] = None
+        self.tcp_connected_at: Optional[float] = None
+        self.connected_at: Optional[float] = None
+        self._pending: Dict[int, PendingRequest] = {}
+        #: Requests waiting for a stream slot (MAX_CONCURRENT_STREAMS).
+        self._stream_queue: List[tuple] = []
+        self._h1 = None  # ALPN fallback protocol, set post-handshake
+        self.negotiated_protocol: str = ""
+        self._on_ready: List[Callable[[], None]] = []
+        self._on_failed: List[Callable[[str], None]] = []
+        self.on_origin_received: Optional[
+            Callable[[Tuple[str, ...]], None]
+        ] = None
+        self.responses: List[H2Response] = []
+        self.misdirected: List[H2Response] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def connect(
+        self,
+        on_ready: Optional[Callable[[], None]] = None,
+        on_failed: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        if on_ready is not None:
+            self._on_ready.append(on_ready)
+        if on_failed is not None:
+            self._on_failed.append(on_failed)
+        self.connect_started_at = self.network.loop.now()
+        self.network.connect(
+            self.client_host,
+            self.server_ip,
+            self.port,
+            self._on_tcp_connected,
+            on_refused=lambda error: self._fail(str(error)),
+        )
+
+    def _on_tcp_connected(self, transport: Transport) -> None:
+        self.tcp_connected_at = self.network.loop.now()
+        self.channel = TlsClientChannel(transport, self.tls_config)
+        self.channel.on_established = self._on_tls_established
+        self.channel.on_failed = self._fail
+        self.channel.on_app_data = self._on_app_data
+        transport.on_close = self._on_transport_closed
+        self.channel.start()
+
+    def _on_tls_established(self) -> None:
+        assert self.channel is not None
+        self.server_chain = self.channel.server_chain
+        self.negotiated_protocol = self.channel.negotiated_alpn or "h2"
+        if self.negotiated_protocol == "http/1.1":
+            # ALPN fallback: speak serial HTTP/1.1 on this channel.
+            from repro.h2.http1 import H1ClientProtocol
+
+            self._h1 = H1ClientProtocol(
+                self.channel.send_app, self.network.loop.now
+            )
+            self.channel.on_app_data = self._h1.on_app_data
+        else:
+            self.conn = H2Connection(
+                Role.CLIENT,
+                origin_aware=self.origin_aware,
+                secondary_certs_aware=self.secondary_certs,
+            )
+            self.conn.initiate()
+        self.connected_at = self.network.loop.now()
+        self.ready = True
+        self._flush()
+        for callback in self._on_ready:
+            callback()
+        self._on_ready.clear()
+
+    def _on_transport_closed(self) -> None:
+        self.closed = True
+        if not self.ready and self.failed is None:
+            self._fail("connection closed during handshake")
+            return
+        # The connection died mid-flight (e.g. an on-path middlebox
+        # tore it down, §6.7): surface the reset to every outstanding
+        # request as a status-0 response.
+        pending = list(self._pending.items())
+        self._pending.clear()
+        for stream_id, request in pending:
+            request.callback(
+                H2Response(
+                    stream_id=stream_id,
+                    status=0,
+                    headers=[],
+                    body=b"",
+                    authority=request.authority,
+                    path=request.path,
+                    sent_at=request.sent_at,
+                    headers_at=request.sent_at,
+                    finished_at=self.network.loop.now(),
+                )
+            )
+
+    def _fail(self, reason: str) -> None:
+        if self.failed is not None:
+            return
+        self.failed = reason
+        self.closed = True
+        for callback in self._on_failed:
+            callback(reason)
+        self._on_failed.clear()
+
+    def close(self) -> None:
+        if self.conn is not None and not self.closed:
+            self.conn.send_goaway(ErrorCode.NO_ERROR)
+            self._flush()
+        if self.channel is not None:
+            self.channel.close()
+        self.closed = True
+
+    def when_ready(
+        self,
+        on_ready: Callable[[], None],
+        on_failed: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Run ``on_ready`` now if established, else once it is."""
+        if self.ready:
+            self.network.loop.schedule(0.0, on_ready)
+        elif self.failed is not None:
+            if on_failed is not None:
+                failure = self.failed
+                self.network.loop.schedule(0.0, lambda: on_failed(failure))
+        else:
+            self._on_ready.append(on_ready)
+            if on_failed is not None:
+                self._on_failed.append(on_failed)
+
+    # -- facts for coalescing policies -----------------------------------------
+
+    @property
+    def can_multiplex(self) -> bool:
+        """HTTP/2 multiplexes; an ALPN h1 fallback does not."""
+        return self._h1 is None
+
+    @property
+    def h1_busy(self) -> bool:
+        return self._h1 is not None and self._h1.busy
+
+    @property
+    def leaf_certificate(self) -> Optional[Certificate]:
+        return self.server_chain[0] if self.server_chain else None
+
+    @property
+    def origin_set(self) -> frozenset:
+        if self.conn is None:
+            return frozenset()
+        return frozenset(self.conn.remote_origin_set)
+
+    def certificate_covers(self, hostname: str) -> bool:
+        leaf = self.leaf_certificate
+        if leaf is not None and leaf.covers(hostname):
+            return True
+        return any(
+            chain[0].covers(hostname)
+            for chain in self.secondary_chains if chain
+        )
+
+    def origin_set_covers(self, hostname: str) -> bool:
+        origins = self.origin_set
+        return (
+            f"https://{hostname}" in origins
+            or f"https://{hostname}:443" in origins
+            or hostname in origins
+        )
+
+    # -- requests -----------------------------------------------------------
+
+    def request(
+        self,
+        authority: str,
+        path: str,
+        callback: Callable[[H2Response], None],
+        method: str = "GET",
+        extra_headers: Sequence[Header] = (),
+    ) -> int:
+        """Issue a request on this connection; returns the stream id."""
+        if not self.ready:
+            raise H2ConnectionError(
+                ErrorCode.INTERNAL_ERROR, "session not ready"
+            )
+        if self._h1 is not None:
+            self._h1.request(authority, path, callback,
+                             tuple(extra_headers))
+            return 0
+        if self.conn is None:
+            raise H2ConnectionError(
+                ErrorCode.INTERNAL_ERROR, "session not ready"
+            )
+        if len(self._pending) >= \
+                self.conn.remote_settings.max_concurrent_streams:
+            # The peer capped concurrent streams: queue like a browser.
+            self._stream_queue.append(
+                (authority, path, callback, method, tuple(extra_headers))
+            )
+            return -1
+        stream_id = self.conn.get_next_stream_id()
+        headers: List[Header] = [
+            (":method", method),
+            (":scheme", "https"),
+            (":authority", authority),
+            (":path", path),
+        ]
+        headers.extend(extra_headers)
+        self._pending[stream_id] = PendingRequest(
+            authority=authority, path=path, callback=callback,
+            sent_at=self.network.loop.now(),
+        )
+        self.conn.send_headers(stream_id, headers, end_stream=True)
+        self._flush()
+        return stream_id
+
+    def _drain_stream_queue(self) -> None:
+        while self._stream_queue and self.conn is not None and len(
+            self._pending
+        ) < self.conn.remote_settings.max_concurrent_streams:
+            authority, path, callback, method, extra = \
+                self._stream_queue.pop(0)
+            self.request(authority, path, callback, method=method,
+                         extra_headers=extra)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _on_app_data(self, data: bytes) -> None:
+        if self.conn is None:
+            return
+        try:
+            events = self.conn.receive_data(data)
+        except H2ConnectionError as error:
+            self._flush()
+            self._fail(str(error))
+            return
+        for event in events:
+            self._dispatch(event)
+        self._flush()
+
+    def _dispatch(self, event: ev.Event) -> None:
+        if isinstance(event, ev.ResponseReceived):
+            pending = self._pending.get(event.stream_id)
+            if pending is not None:
+                pending.headers = event.headers
+                pending.headers_at = self.network.loop.now()
+                for name, value in event.headers:
+                    if name == ":status":
+                        pending.status = int(value)
+        elif isinstance(event, ev.DataReceived):
+            pending = self._pending.get(event.stream_id)
+            if pending is not None:
+                pending.body += event.data
+        elif isinstance(event, ev.StreamEnded):
+            self._complete(event.stream_id)
+        elif isinstance(event, ev.OriginReceived):
+            if self.on_origin_received is not None:
+                self.on_origin_received(event.origins)
+        elif isinstance(event, ev.SecondaryCertificateReceived):
+            self._accept_secondary_certificate(event.chain_data)
+        elif isinstance(event, ev.GoAwayReceived):
+            if event.error_code is not ErrorCode.NO_ERROR:
+                self._fail(f"GOAWAY: {event.error_code.name}")
+
+    def _accept_secondary_certificate(self, chain_data: bytes) -> None:
+        """Validate and adopt a secondary chain; bad chains are
+        silently discarded (they confer no authority)."""
+        from repro.h2.tls_channel import deserialize_chain
+        from repro.tlspki.validation import validate_chain
+
+        try:
+            chain = deserialize_chain(chain_data)
+        except (ValueError, KeyError):
+            return
+        if not chain:
+            return
+        result = validate_chain(
+            chain,
+            chain[0].subject,
+            self.tls_config.now(),
+            self.tls_config.trust_store,
+            self.tls_config.authorities,
+        )
+        if not result.ok:
+            return
+        self.secondary_chains.append(chain)
+        if self.on_secondary_certificate is not None:
+            self.on_secondary_certificate(chain[0])
+
+    def _complete(self, stream_id: int) -> None:
+        pending = self._pending.pop(stream_id, None)
+        if pending is None:
+            return
+        response = H2Response(
+            stream_id=stream_id,
+            status=pending.status,
+            headers=pending.headers,
+            body=bytes(pending.body),
+            authority=pending.authority,
+            path=pending.path,
+            sent_at=pending.sent_at,
+            headers_at=pending.headers_at or pending.sent_at,
+            finished_at=self.network.loop.now(),
+        )
+        self.responses.append(response)
+        if response.status == 421:
+            self.misdirected.append(response)
+        pending.callback(response)
+        self._drain_stream_queue()
+
+    def _flush(self) -> None:
+        if self.conn is None or self.channel is None:
+            return
+        if not self.channel.established or self.channel.transport.closed:
+            return
+        data = self.conn.data_to_send()
+        if data:
+            self.channel.send_app(data)

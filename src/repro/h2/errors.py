@@ -1,0 +1,52 @@
+"""HTTP/2 error codes and exceptions (RFC 7540 §7)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """Error codes carried in RST_STREAM and GOAWAY frames."""
+
+    NO_ERROR = 0x0
+    PROTOCOL_ERROR = 0x1
+    INTERNAL_ERROR = 0x2
+    FLOW_CONTROL_ERROR = 0x3
+    SETTINGS_TIMEOUT = 0x4
+    STREAM_CLOSED = 0x5
+    FRAME_SIZE_ERROR = 0x6
+    REFUSED_STREAM = 0x7
+    CANCEL = 0x8
+    COMPRESSION_ERROR = 0x9
+    CONNECT_ERROR = 0xA
+    ENHANCE_YOUR_CALM = 0xB
+    INADEQUATE_SECURITY = 0xC
+    HTTP_1_1_REQUIRED = 0xD
+
+
+class H2Error(Exception):
+    """Base class for HTTP/2 protocol failures."""
+
+
+class H2ConnectionError(H2Error):
+    """A connection-level error; the connection must be torn down with
+    a GOAWAY carrying ``code``."""
+
+    def __init__(self, code: ErrorCode, message: str = "") -> None:
+        super().__init__(message or code.name)
+        self.code = code
+
+
+class H2StreamError(H2Error):
+    """A stream-level error; the stream is reset with RST_STREAM."""
+
+    def __init__(
+        self, stream_id: int, code: ErrorCode, message: str = ""
+    ) -> None:
+        super().__init__(message or f"stream {stream_id}: {code.name}")
+        self.stream_id = stream_id
+        self.code = code
+
+
+class HpackError(H2Error):
+    """Header-block decoding failed; fatal at the connection level."""

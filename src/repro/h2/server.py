@@ -1,0 +1,397 @@
+"""HTTP/2 origin server with ORIGIN frame support.
+
+The deployable piece the paper notes did not exist in the wild: an
+HTTP/2 server that advertises its origin set via ORIGIN frames (RFC
+8336).  A :class:`ServerConfig` describes the certificates, hostnames,
+origin sets, and content; :class:`H2Server` binds it to addresses on
+the simulated network, terminates TLS, and answers requests -- with
+``421 Misdirected Request`` for authorities it is not configured for
+(RFC 7540 §9.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.h2 import events as ev
+from repro.h2.connection import H2Connection, Role
+from repro.h2.errors import ErrorCode, H2ConnectionError
+from repro.h2.tls_channel import TlsServerChannel
+from repro.netsim.network import Host, Network
+from repro.netsim.transport import Transport
+from repro.tlspki.certificate import Certificate
+
+Header = Tuple[str, str]
+
+#: handler(authority, path, headers) -> (status, extra_headers, body)
+RequestHandler = Callable[
+    [str, str, List[Header]], Tuple[int, List[Header], bytes]
+]
+
+
+def default_handler(
+    authority: str, path: str, headers: List[Header]
+) -> Tuple[int, List[Header], bytes]:
+    body = f"served {path} for {authority}".encode("utf-8")
+    return 200, [("content-type", "text/plain")], body
+
+
+@dataclass
+class ServerConfig:
+    """Behaviour of one logical origin server / CDN edge."""
+
+    #: Certificate chains available, selected by SNI against the leaf SAN.
+    chains: List[List[Certificate]] = field(default_factory=list)
+    #: Hostnames this server will answer for (421 otherwise).  Entries
+    #: may be wildcards (``*.example.com``).
+    serves: List[str] = field(default_factory=list)
+    #: Origin set to advertise per connection, keyed by SNI; the
+    #: fallback key ``"*"`` applies to any SNI.
+    origin_sets: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Master switch for ORIGIN frames (False = pre-deployment server).
+    send_origin_frames: bool = True
+    #: Protocols offered in ALPN, server-preference order.  A legacy
+    #: origin advertises only ``("http/1.1",)``.
+    alpn_protocols: Tuple[str, ...] = ("h2", "http/1.1")
+    #: Hostnames (exact) whose virtual host is stuck on HTTP/1.1 even
+    #: though the fleet supports h2 -- Table 3's 19% legacy share.
+    h1_only_hosts: frozenset = frozenset()
+    #: Server processing time per request ("wait"/TTFB component).
+    think_time_ms: float = 0.0
+    #: Issue TLS session tickets so repeat visitors resume (skipping
+    #: certificate transmission and validation).
+    enable_resumption: bool = True
+    #: Advertised SETTINGS_MAX_CONCURRENT_STREAMS (None = protocol
+    #: default, effectively unlimited).
+    max_concurrent_streams: Optional[int] = None
+    #: Secondary certificate chains (draft-ietf-httpbis-http2-
+    #: secondary-certs, the §6.5 alternative) advertised per SNI;
+    #: ``"*"`` applies to every connection.
+    secondary_chains: Dict[str, List[List[Certificate]]] = field(
+        default_factory=dict
+    )
+    handler: RequestHandler = default_handler
+
+    def secondary_chains_for(self, sni: str) -> List[List[Certificate]]:
+        if sni in self.secondary_chains:
+            return self.secondary_chains[sni]
+        return self.secondary_chains.get("*", [])
+
+    def __post_init__(self) -> None:
+        self._chain_index_size = -1
+        self._chain_exact: Dict[str, List[Certificate]] = {}
+        self._chain_wildcard: Dict[str, List[Certificate]] = {}
+        self._serves_index_size = -1
+        self._serves_exact: set = set()
+        self._serves_wildcard: set = set()
+
+    def _reindex_chains(self) -> None:
+        self._chain_exact.clear()
+        self._chain_wildcard.clear()
+        for chain in self.chains:
+            if not chain:
+                continue
+            for name in chain[0].san:
+                if name.startswith("*."):
+                    self._chain_wildcard.setdefault(name[2:], chain)
+                else:
+                    self._chain_exact.setdefault(name, chain)
+        self._chain_index_size = len(self.chains)
+
+    def chain_for_sni(self, sni: str) -> Optional[List[Certificate]]:
+        if self._chain_index_size != len(self.chains):
+            self._reindex_chains()
+        chain = self._chain_exact.get(sni)
+        if chain is not None:
+            return chain
+        _, _, parent = sni.partition(".")
+        return self._chain_wildcard.get(parent)
+
+    def origin_set_for(self, sni: str) -> Tuple[str, ...]:
+        if sni in self.origin_sets:
+            return self.origin_sets[sni]
+        return self.origin_sets.get("*", ())
+
+    def _reindex_serves(self) -> None:
+        self._serves_exact = {
+            name for name in self.serves if not name.startswith("*.")
+        }
+        self._serves_wildcard = {
+            name[2:] for name in self.serves if name.startswith("*.")
+        }
+        self._serves_index_size = len(self.serves)
+
+    def is_authoritative_for(self, hostname: str) -> bool:
+        if self._serves_index_size != len(self.serves):
+            self._reindex_serves()
+        if hostname in self._serves_exact:
+            return True
+        _, _, parent = hostname.partition(".")
+        return parent in self._serves_wildcard
+
+
+@dataclass
+class ServerStats:
+    """Counters the passive-measurement pipeline consumes."""
+
+    tls_handshakes: int = 0
+    connections: int = 0
+    requests: int = 0
+    misdirected: int = 0
+    origin_frames_sent: int = 0
+
+
+class ServerConnection:
+    """Server-side state for one accepted connection."""
+
+    def __init__(
+        self, server: "H2Server", transport: Transport
+    ) -> None:
+        self.server = server
+
+        def alpn_for_sni(sni: str):
+            if sni in server.config.h1_only_hosts:
+                return ("http/1.1",)
+            return server.config.alpn_protocols
+
+        self.channel = TlsServerChannel(
+            transport,
+            server.config.chain_for_sni,
+            supported_alpn=alpn_for_sni,
+            ticket_manager=server.ticket_manager,
+        )
+        self.conn: Optional[H2Connection] = None
+        self.h1: Optional["H1ServerProtocol"] = None
+        self.sni = ""
+        self.protocol = ""
+        self.channel.on_established = self._on_tls_established
+        self.channel.on_app_data = self._on_app_data
+        #: (sni, authority, arrival_index) per request -- raw material
+        #: for the coalescing flag bit of paper §5.2.
+        self.request_log: List[Tuple[str, str, int]] = []
+
+    def _on_tls_established(self) -> None:
+        self.sni = self.channel.client_sni
+        self.protocol = self.channel.negotiated_alpn or "h2"
+        self.server.stats.tls_handshakes += 1
+        if self.protocol == "http/1.1":
+            self._start_h1()
+            return
+        origin_set: Sequence[str] = ()
+        if self.server.config.send_origin_frames:
+            origin_set = self.server.config.origin_set_for(self.sni)
+        secondaries = self.server.config.secondary_chains_for(self.sni)
+        self.conn = H2Connection(
+            Role.SERVER,
+            origin_aware=self.server.config.send_origin_frames,
+            origin_set=origin_set,
+            secondary_certs_aware=bool(secondaries),
+        )
+        settings = []
+        if self.server.config.max_concurrent_streams is not None:
+            from repro.h2.settings import SettingId
+
+            settings.append((
+                int(SettingId.MAX_CONCURRENT_STREAMS),
+                self.server.config.max_concurrent_streams,
+            ))
+        self.conn.initiate(settings=settings)
+        if origin_set:
+            self.server.stats.origin_frames_sent += 1
+        if secondaries:
+            from repro.h2.tls_channel import serialize_chain
+
+            for cert_id, chain in enumerate(secondaries):
+                self.conn.send_certificate(
+                    cert_id & 0xFF, serialize_chain(chain)
+                )
+        self._flush()
+
+    def _start_h1(self) -> None:
+        from repro.h2.http1 import H1ServerProtocol
+
+        def handler(authority, path, headers):
+            arrival_index = len(self.request_log) + 1
+            self.request_log.append((self.sni, authority, arrival_index))
+            self.server.stats.requests += 1
+            self.server.log_request(self, authority, arrival_index,
+                                    headers)
+            if not self.server.config.is_authoritative_for(authority):
+                self.server.stats.misdirected += 1
+                return 421, [], b""
+            return self.server.config.handler(authority, path, headers)
+
+        self.h1 = H1ServerProtocol(
+            self.channel.send_app,
+            handler,
+            scheduler=self.server.network.loop.schedule,
+            think_time_ms=self.server.config.think_time_ms,
+        )
+
+    def _on_app_data(self, data: bytes) -> None:
+        if self.h1 is not None:
+            self.h1.on_app_data(data)
+            return
+        if self.conn is None:
+            return
+        try:
+            events = self.conn.receive_data(data)
+        except H2ConnectionError:
+            self._flush()
+            self.channel.close()
+            return
+        for event in events:
+            if isinstance(event, ev.RequestReceived):
+                self._handle_request(event)
+        self._flush()
+
+    def _handle_request(self, event: ev.RequestReceived) -> None:
+        headers = dict(event.headers)
+        authority = headers.get(":authority", "")
+        path = headers.get(":path", "/")
+        arrival_index = len(self.request_log) + 1
+        self.request_log.append((self.sni, authority, arrival_index))
+        self.server.stats.requests += 1
+        self.server.log_request(self, authority, arrival_index,
+                                event.headers)
+
+        if not self.server.config.is_authoritative_for(authority):
+            # RFC 7540 §9.1.2: not configured for this authority.
+            self.server.stats.misdirected += 1
+            self._respond(event.stream_id, 421, [], b"")
+            return
+        status, extra, body = self.server.config.handler(
+            authority, path, event.headers
+        )
+        think = self.server.config.think_time_ms
+        if think > 0:
+            self.server.network.loop.schedule(
+                think,
+                lambda: self._respond_and_flush(
+                    event.stream_id, status, extra, body
+                ),
+            )
+        else:
+            self._respond(event.stream_id, status, extra, body)
+
+    def _respond_and_flush(
+        self,
+        stream_id: int,
+        status: int,
+        extra_headers: List[Header],
+        body: bytes,
+    ) -> None:
+        if self.channel.transport.closed:
+            return
+        self._respond(stream_id, status, extra_headers, body)
+        self._flush()
+
+    def _respond(
+        self,
+        stream_id: int,
+        status: int,
+        extra_headers: List[Header],
+        body: bytes,
+    ) -> None:
+        assert self.conn is not None
+        response_headers = [(":status", str(status))]
+        response_headers.extend(extra_headers)
+        response_headers.append(("content-length", str(len(body))))
+        if body:
+            self.conn.send_headers(stream_id, response_headers)
+            self.conn.send_data(stream_id, body, end_stream=True)
+        else:
+            self.conn.send_headers(
+                stream_id, response_headers, end_stream=True
+            )
+
+    def _flush(self) -> None:
+        if self.conn is None or not self.channel.established:
+            return
+        data = self.conn.data_to_send()
+        if data and not self.channel.transport.closed:
+            self.channel.send_app(data)
+
+
+class H2Server:
+    """Binds a :class:`ServerConfig` to listening addresses."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        config: ServerConfig,
+        retain_connections: bool = True,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.config = config
+        self.stats = ServerStats()
+        from repro.h2.tls_channel import TicketManager
+
+        self.ticket_manager = (
+            TicketManager() if config.enable_resumption else None
+        )
+        #: When False, connection objects are not kept after accept --
+        #: large crawls would otherwise accumulate them unboundedly.
+        self.retain_connections = retain_connections
+        self.connections: List[ServerConnection] = []
+        #: Optional observer:
+        #: (connection, authority, arrival_index, request_headers).
+        self.request_observer: Optional[
+            Callable[[ServerConnection, str, int, List[Header]], None]
+        ] = None
+
+    def listen(self, ip: str, port: int = 443) -> None:
+        self.network.listen(self.host, ip, port, self._accept)
+
+    def listen_all(self, port: int = 443) -> None:
+        for ip in self.host.addresses:
+            self.listen(ip, port)
+
+    def listen_plain(self, ip: str, port: int = 80) -> None:
+        """Serve cleartext HTTP/1.1 (no TLS) -- the 1.47% insecure
+        requests of Table 3 need somewhere to go."""
+        self.network.listen(self.host, ip, port, self._accept_plain)
+
+    def listen_plain_all(self, port: int = 80) -> None:
+        for ip in self.host.addresses:
+            self.listen_plain(ip, port)
+
+    def _accept(self, transport: Transport) -> None:
+        self.stats.connections += 1
+        connection = ServerConnection(self, transport)
+        if self.retain_connections:
+            self.connections.append(connection)
+
+    def _accept_plain(self, transport: Transport) -> None:
+        from repro.h2.http1 import H1ServerProtocol
+
+        self.stats.connections += 1
+
+        def handler(authority, path, headers):
+            self.stats.requests += 1
+            if not self.config.is_authoritative_for(authority):
+                self.stats.misdirected += 1
+                return 421, [], b""
+            return self.config.handler(authority, path, headers)
+
+        protocol = H1ServerProtocol(
+            transport.send,
+            handler,
+            scheduler=self.network.loop.schedule,
+            think_time_ms=self.config.think_time_ms,
+        )
+        transport.on_data = protocol.on_app_data
+
+    def log_request(
+        self,
+        connection: ServerConnection,
+        authority: str,
+        arrival_index: int,
+        headers: Optional[List[Header]] = None,
+    ) -> None:
+        if self.request_observer is not None:
+            self.request_observer(connection, authority, arrival_index,
+                                  headers or [])

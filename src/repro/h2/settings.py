@@ -1,0 +1,89 @@
+"""SETTINGS parameters (RFC 7540 §6.5.2)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from repro.h2.errors import ErrorCode, H2ConnectionError
+
+
+class SettingId(enum.IntEnum):
+    HEADER_TABLE_SIZE = 0x1
+    ENABLE_PUSH = 0x2
+    MAX_CONCURRENT_STREAMS = 0x3
+    INITIAL_WINDOW_SIZE = 0x4
+    MAX_FRAME_SIZE = 0x5
+    MAX_HEADER_LIST_SIZE = 0x6
+
+
+#: Protocol defaults (RFC 7540 §6.5.2).
+DEFAULT_SETTINGS: Dict[int, int] = {
+    SettingId.HEADER_TABLE_SIZE: 4096,
+    SettingId.ENABLE_PUSH: 1,
+    SettingId.MAX_CONCURRENT_STREAMS: 2**31 - 1,  # "unlimited"
+    SettingId.INITIAL_WINDOW_SIZE: 65_535,
+    SettingId.MAX_FRAME_SIZE: 16_384,
+    SettingId.MAX_HEADER_LIST_SIZE: 2**31 - 1,    # "unlimited"
+}
+
+MAX_WINDOW_SIZE = 2**31 - 1
+MIN_MAX_FRAME_SIZE = 16_384
+MAX_MAX_FRAME_SIZE = 2**24 - 1
+
+
+def validate_setting(identifier: int, value: int) -> None:
+    """Raise on values RFC 7540 §6.5.2 forbids; unknown ids are ignored."""
+    if identifier == SettingId.ENABLE_PUSH and value not in (0, 1):
+        raise H2ConnectionError(
+            ErrorCode.PROTOCOL_ERROR, f"ENABLE_PUSH must be 0 or 1, got {value}"
+        )
+    if identifier == SettingId.INITIAL_WINDOW_SIZE and value > MAX_WINDOW_SIZE:
+        raise H2ConnectionError(
+            ErrorCode.FLOW_CONTROL_ERROR,
+            f"INITIAL_WINDOW_SIZE {value} exceeds {MAX_WINDOW_SIZE}",
+        )
+    if identifier == SettingId.MAX_FRAME_SIZE and not (
+        MIN_MAX_FRAME_SIZE <= value <= MAX_MAX_FRAME_SIZE
+    ):
+        raise H2ConnectionError(
+            ErrorCode.PROTOCOL_ERROR,
+            f"MAX_FRAME_SIZE {value} outside "
+            f"[{MIN_MAX_FRAME_SIZE}, {MAX_MAX_FRAME_SIZE}]",
+        )
+
+
+class Settings:
+    """The settings in force for one direction of a connection."""
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = dict(DEFAULT_SETTINGS)
+
+    def get(self, identifier: int) -> int:
+        return self._values.get(identifier, 0)
+
+    def apply(self, identifier: int, value: int) -> None:
+        validate_setting(identifier, value)
+        if identifier in SettingId._value2member_map_:
+            self._values[identifier] = value
+        # Unknown identifiers MUST be ignored (RFC 7540 §6.5.2).
+
+    @property
+    def header_table_size(self) -> int:
+        return self._values[SettingId.HEADER_TABLE_SIZE]
+
+    @property
+    def enable_push(self) -> bool:
+        return bool(self._values[SettingId.ENABLE_PUSH])
+
+    @property
+    def max_concurrent_streams(self) -> int:
+        return self._values[SettingId.MAX_CONCURRENT_STREAMS]
+
+    @property
+    def initial_window_size(self) -> int:
+        return self._values[SettingId.INITIAL_WINDOW_SIZE]
+
+    @property
+    def max_frame_size(self) -> int:
+        return self._values[SettingId.MAX_FRAME_SIZE]

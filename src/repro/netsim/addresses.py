@@ -1,0 +1,83 @@
+"""IPv4 address helpers and deterministic allocation.
+
+The dataset generator assigns address blocks to providers/ASes; this
+module provides the allocator and simple validation, without depending
+on :mod:`ipaddress` semantics we don't need (we never route for real).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def is_valid_ipv4(address: str) -> bool:
+    """Return ``True`` for a dotted-quad IPv4 string."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit():
+            return False
+        if len(part) > 1 and part[0] == "0":
+            return False
+        if int(part) > 255:
+            return False
+    return True
+
+
+def int_to_ipv4(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad notation."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def ipv4_to_int(address: str) -> int:
+    """Convert dotted-quad notation to a 32-bit integer."""
+    if not is_valid_ipv4(address):
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in address.split("."):
+        value = (value << 8) | int(part)
+    return value
+
+
+class AddressAllocator:
+    """Hands out IPv4 addresses from sequential /24-aligned blocks.
+
+    Each call to :meth:`allocate_block` reserves a fresh /24 and returns
+    a generator of its host addresses (``.1`` .. ``.254``); callers that
+    need more than 254 addresses allocate more blocks.  Allocation order
+    is deterministic, so a fixed seed upstream yields a fixed topology.
+    """
+
+    #: First /24 handed out; 10.0.0.0/8 keeps everything in private space.
+    BASE = ipv4_to_int("10.0.0.0")
+    #: One past the last allowed block start (10.255.255.0).
+    LIMIT = ipv4_to_int("10.255.255.0")
+
+    def __init__(self) -> None:
+        self._next_block = self.BASE
+
+    def allocate_block(self) -> Iterator[str]:
+        """Reserve the next /24 and yield its usable host addresses."""
+        block = self._next_block
+        if block >= self.LIMIT:
+            raise RuntimeError("address space exhausted (10.0.0.0/8)")
+        self._next_block += 256
+        return (int_to_ipv4(block + host) for host in range(1, 255))
+
+    def allocate(self, count: int) -> list:
+        """Allocate ``count`` individual addresses across as many blocks
+        as needed, returned as a list of dotted-quad strings."""
+        if count < 0:
+            raise ValueError(f"negative count: {count}")
+        out: list = []
+        while len(out) < count:
+            for address in self.allocate_block():
+                out.append(address)
+                if len(out) == count:
+                    break
+        return out

@@ -1,0 +1,42 @@
+"""Simulated time.
+
+All times in the simulation are floating-point **milliseconds** from the
+start of the run.  Milliseconds are the natural unit for web-performance
+work: HAR timings, RTTs and page-load times are all conventionally
+reported in ms.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonic simulated clock.
+
+    The clock can only move forward.  It is advanced exclusively by the
+    :class:`~repro.netsim.events.EventLoop` as it executes events; user
+    code reads it through :meth:`now`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in milliseconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises :class:`ValueError` if ``when`` is in the past; simulated
+        time is monotonic by construction.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now} to {when}"
+            )
+        self._now = float(when)
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}ms)"

@@ -1,0 +1,129 @@
+"""The discrete-event loop.
+
+Events are ``(time, sequence, callback)`` triples kept in a heap.  The
+sequence number breaks ties so that two events scheduled for the same
+instant run in the order they were scheduled, which keeps the whole
+simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.netsim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Instances sort by ``(when, seq)``, which is what the heap relies on.
+    """
+
+    when: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler over a :class:`SimClock`."""
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._executed = 0
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events run so far (useful for loop-progress tests)."""
+        return self._executed
+
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.clock.now()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` ms from now.
+
+        A zero delay is allowed and runs after already-queued events for
+        the current instant.  Negative delays are rejected.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.clock.now() + delay, callback)
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self.clock.now():
+            raise ValueError(
+                f"cannot schedule at {when}, clock is already at {self.clock.now()}"
+            )
+        event = Event(when=when, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event, if any.  Returns ``False`` when idle."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            event.callback()
+            self._executed += 1
+            return True
+        return False
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        """Run events until the queue drains.  Returns events executed.
+
+        ``max_events`` guards against accidental infinite self-scheduling
+        loops; hitting it raises :class:`RuntimeError` rather than
+        silently hanging the test suite.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events; "
+                    "likely a self-scheduling loop"
+                )
+        return count
+
+    def run_until(self, when: float, max_events: int = 10_000_000) -> int:
+        """Run all events scheduled strictly before or at time ``when``.
+
+        The clock finishes at exactly ``when`` even if the last event was
+        earlier, so callers can reason about elapsed wall-clock windows.
+        """
+        count = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.when > when:
+                break
+            self.step()
+            count += 1
+            if count >= max_events:
+                raise RuntimeError(
+                    f"event loop exceeded {max_events} events before {when}"
+                )
+        if when > self.clock.now():
+            self.clock.advance_to(when)
+        return count

@@ -1,0 +1,212 @@
+"""Host registry, listening services, and connection establishment.
+
+A :class:`Network` owns the event loop and latency model, registers
+:class:`Host` objects with IPv4 addresses and regions, and lets services
+listen on ``(ip, port)``.  :meth:`Network.connect` models the TCP
+three-way handshake: the caller's ``on_connect`` callback fires one full
+RTT after the SYN, matching the 1-RTT connect cost browsers observe.
+
+An optional *tap* can be installed on the network; the middlebox model
+(paper §6.7) uses it to interpose on new connections for selected
+clients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.netsim.events import EventLoop
+from repro.netsim.latency import LatencyModel
+from repro.netsim.transport import Transport
+
+
+class ConnectionRefused(Exception):
+    """No service is listening at the requested (ip, port)."""
+
+
+class Host:
+    """A machine on the simulated network."""
+
+    def __init__(self, name: str, region: str, addresses: List[str]) -> None:
+        if not addresses:
+            raise ValueError(f"host {name!r} needs at least one address")
+        self.name = name
+        self.region = region
+        self.addresses = list(addresses)
+
+    @property
+    def primary_address(self) -> str:
+        return self.addresses[0]
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, {self.region!r}, {self.addresses})"
+
+
+class Service:
+    """A listener bound to (ip, port) on some host.
+
+    ``acceptor`` is called with the server-side :class:`Transport` for
+    each new connection.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        ip: str,
+        port: int,
+        acceptor: Callable[[Transport], None],
+    ) -> None:
+        self.host = host
+        self.ip = ip
+        self.port = port
+        self.acceptor = acceptor
+        self.connections_accepted = 0
+
+
+#: A tap receives (client_host, server_ip, port, client_transport,
+#: server_transport) and may wrap or replace either endpoint's callbacks.
+NetworkTap = Callable[[Host, str, int, Transport, Transport], None]
+
+
+class Network:
+    """The simulated internet: hosts, listeners, and connections."""
+
+    def __init__(
+        self,
+        loop: Optional[EventLoop] = None,
+        latency: Optional[LatencyModel] = None,
+    ) -> None:
+        self.loop = loop if loop is not None else EventLoop()
+        self.latency = latency if latency is not None else LatencyModel()
+        self._hosts: Dict[str, Host] = {}
+        self._by_address: Dict[str, Host] = {}
+        self._services: Dict[Tuple[str, int], Service] = {}
+        self._taps: List[NetworkTap] = []
+        self.connections_opened = 0
+
+    # -- host management --------------------------------------------------
+
+    def add_host(self, host: Host) -> Host:
+        """Register a host; all its addresses must be unused."""
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host name {host.name!r}")
+        for address in host.addresses:
+            if address in self._by_address:
+                raise ValueError(f"address {address} already in use")
+        self._hosts[host.name] = host
+        for address in host.addresses:
+            self._by_address[address] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def host_for_address(self, address: str) -> Optional[Host]:
+        return self._by_address.get(address)
+
+    def add_address(self, host: Host, address: str) -> None:
+        """Attach an extra address to an existing host (addressing agility,
+        as used by the IP-coalescing deployment in paper §5.2)."""
+        if address in self._by_address:
+            raise ValueError(f"address {address} already in use")
+        host.addresses.append(address)
+        self._by_address[address] = host
+
+    def remove_address(self, host: Host, address: str) -> None:
+        """Detach an address (used to undo deployment DNS/IP changes)."""
+        if self._by_address.get(address) is not host:
+            raise ValueError(f"{address} is not bound to {host.name}")
+        host.addresses.remove(address)
+        del self._by_address[address]
+
+    # -- services ----------------------------------------------------------
+
+    def listen(
+        self,
+        host: Host,
+        ip: str,
+        port: int,
+        acceptor: Callable[[Transport], None],
+    ) -> Service:
+        """Bind ``acceptor`` to (ip, port); the ip must belong to ``host``."""
+        if ip not in host.addresses:
+            raise ValueError(f"{ip} is not an address of {host.name}")
+        key = (ip, port)
+        if key in self._services:
+            raise ValueError(f"{ip}:{port} already has a listener")
+        service = Service(host, ip, port, acceptor)
+        self._services[key] = service
+        return service
+
+    def unlisten(self, ip: str, port: int) -> None:
+        self._services.pop((ip, port), None)
+
+    def service_at(self, ip: str, port: int) -> Optional[Service]:
+        return self._services.get((ip, port))
+
+    # -- taps ---------------------------------------------------------------
+
+    def add_tap(self, tap: NetworkTap) -> None:
+        """Install an on-path interposer applied to every new connection."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: NetworkTap) -> None:
+        self._taps.remove(tap)
+
+    # -- connections ---------------------------------------------------------
+
+    def connect(
+        self,
+        client: Host,
+        server_ip: str,
+        port: int,
+        on_connect: Callable[[Transport], None],
+        on_refused: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        """Open a TCP connection from ``client`` to ``server_ip:port``.
+
+        ``on_connect`` receives the client-side transport one RTT after
+        now (SYN, SYN-ACK).  If nothing is listening, ``on_refused`` is
+        called after one RTT instead (RST comes back); without an
+        ``on_refused`` handler the error propagates when the event runs.
+        """
+        service = self._services.get((server_ip, port))
+        rtt = self.latency.rtt(client.region, "unknown-region")
+        if service is not None:
+            rtt = self.latency.rtt(client.region, service.host.region)
+
+        if service is None:
+            error = ConnectionRefused(f"nothing listening at {server_ip}:{port}")
+
+            def refuse() -> None:
+                if on_refused is not None:
+                    on_refused(error)
+                else:
+                    raise error
+
+            self.loop.schedule(rtt, refuse)
+            return
+
+        client_end, server_end = Transport.pair(
+            self.loop,
+            self.latency,
+            client.region,
+            service.host.region,
+            client.primary_address,
+            server_ip,
+        )
+        self.connections_opened += 1
+        service.connections_accepted += 1
+        for tap in self._taps:
+            tap(client, server_ip, port, client_end, server_end)
+
+        def establish() -> None:
+            # The server learns of the connection half an RTT after the
+            # SYN; the client's connect completes a full RTT after it.
+            service.acceptor(server_end)
+
+        def complete() -> None:
+            on_connect(client_end)
+
+        self.loop.schedule(rtt / 2.0, establish)
+        self.loop.schedule(rtt, complete)

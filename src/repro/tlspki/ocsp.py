@@ -1,0 +1,95 @@
+"""Online Certificate Status Protocol (OCSP) responder model.
+
+Paper §6.2 notes that OCSP gives clients confidence in a certificate's
+continued validity without DNS.  The model supports revocation,
+status queries, and stapled responses with a freshness window.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.tlspki.certificate import Certificate
+
+#: Default staple validity: 7 days in ms, a common production maximum.
+DEFAULT_STAPLE_LIFETIME_MS = 7.0 * 24 * 3600 * 1000
+
+
+class OcspStatus(enum.Enum):
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class StapledResponse:
+    """A signed status a server can staple into its handshake."""
+
+    fingerprint: str
+    status: OcspStatus
+    produced_at: float
+    expires_at: float
+
+    def fresh_at(self, now: float) -> bool:
+        return self.produced_at <= now <= self.expires_at
+
+
+class OcspResponder:
+    """Tracks revocations for the certificates of one or more CAs."""
+
+    def __init__(
+        self, staple_lifetime_ms: float = DEFAULT_STAPLE_LIFETIME_MS
+    ) -> None:
+        self._staple_lifetime = staple_lifetime_ms
+        self._known: Dict[str, OcspStatus] = {}
+        self._revoked_at: Dict[str, float] = {}
+        self.queries = 0
+
+    def register(self, certificate: Certificate) -> None:
+        """Start answering for a certificate (status GOOD)."""
+        self._known[certificate.fingerprint()] = OcspStatus.GOOD
+
+    def revoke(self, certificate: Certificate, now: float = 0.0) -> None:
+        fingerprint = certificate.fingerprint()
+        if fingerprint not in self._known:
+            raise KeyError(
+                f"cannot revoke unregistered certificate "
+                f"{certificate.subject!r}"
+            )
+        self._known[fingerprint] = OcspStatus.REVOKED
+        self._revoked_at[fingerprint] = now
+
+    def status(self, certificate: Certificate) -> OcspStatus:
+        """Live status query (counts toward responder load)."""
+        self.queries += 1
+        return self._known.get(certificate.fingerprint(), OcspStatus.UNKNOWN)
+
+    def revocation_time(self, certificate: Certificate) -> Optional[float]:
+        return self._revoked_at.get(certificate.fingerprint())
+
+    def staple(
+        self, certificate: Certificate, now: float = 0.0
+    ) -> StapledResponse:
+        """Produce a stapled response a server can serve in-handshake."""
+        status = self._known.get(
+            certificate.fingerprint(), OcspStatus.UNKNOWN
+        )
+        return StapledResponse(
+            fingerprint=certificate.fingerprint(),
+            status=status,
+            produced_at=now,
+            expires_at=now + self._staple_lifetime,
+        )
+
+    def verify_staple(
+        self, certificate: Certificate, staple: StapledResponse, now: float
+    ) -> bool:
+        """A staple is acceptable when it names this certificate, is
+        fresh, and reports GOOD."""
+        return (
+            staple.fingerprint == certificate.fingerprint()
+            and staple.fresh_at(now)
+            and staple.status is OcspStatus.GOOD
+        )

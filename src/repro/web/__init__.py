@@ -1,0 +1,20 @@
+"""Web object model: pages, subresources, HAR timelines, AS mapping."""
+
+from repro.web.content import ContentType, CONTENT_TYPE_SIZES
+from repro.web.asdb import AsDatabase, AsInfo
+from repro.web.page import FetchMode, Subresource, WebPage
+from repro.web.har import HarArchive, HarEntry, HarPage, HarTimings
+
+__all__ = [
+    "ContentType",
+    "CONTENT_TYPE_SIZES",
+    "AsDatabase",
+    "AsInfo",
+    "FetchMode",
+    "Subresource",
+    "WebPage",
+    "HarArchive",
+    "HarEntry",
+    "HarPage",
+    "HarTimings",
+]

@@ -1,0 +1,184 @@
+"""HAR-style timelines (HTTP Archive format, trimmed to what we use).
+
+The crawler writes one :class:`HarArchive` per page load; the
+coalescing model in :mod:`repro.core` consumes these, exactly as the
+paper's pipeline consumed WebPageTest HAR files (§3.1, §4.1).
+
+Timing semantics follow the HAR 1.2 spec: per entry, ``blocked`` (queue
+/ CPU before the network), ``dns``, ``connect`` (TCP), ``ssl`` (TLS,
+not included in ``connect`` here), ``send``, ``wait`` (server think),
+``receive`` (body download).  ``-1`` means "did not happen" (e.g. no
+DNS because the connection was reused).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from typing import Dict, List, Optional
+
+NOT_APPLICABLE = -1.0
+
+
+@dataclass
+class HarTimings:
+    """Per-request phase durations in milliseconds."""
+
+    blocked: float = 0.0
+    dns: float = NOT_APPLICABLE
+    connect: float = NOT_APPLICABLE
+    ssl: float = NOT_APPLICABLE
+    send: float = 0.0
+    wait: float = 0.0
+    receive: float = 0.0
+
+    def total(self) -> float:
+        """Wall-clock duration of the entry (negative phases skipped)."""
+        return sum(
+            max(value, 0.0)
+            for value in (
+                self.blocked, self.dns, self.connect, self.ssl,
+                self.send, self.wait, self.receive,
+            )
+        )
+
+    @property
+    def used_new_connection(self) -> bool:
+        return self.connect >= 0.0
+
+    @property
+    def used_dns(self) -> bool:
+        return self.dns >= 0.0
+
+    def validate(self) -> None:
+        for name in ("blocked", "send", "wait", "receive"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"timing {name} cannot be negative")
+        for name in ("dns", "connect", "ssl"):
+            value = getattr(self, name)
+            if value < 0 and value != NOT_APPLICABLE:
+                raise ValueError(
+                    f"timing {name} must be >= 0 or -1, got {value}"
+                )
+
+
+@dataclass
+class HarEntry:
+    """One request in a page-load timeline."""
+
+    url: str
+    hostname: str
+    path: str
+    started_at: float
+    timings: HarTimings
+    status: int = 200
+    server_ip: str = ""
+    protocol: str = "h2"
+    content_type: str = ""
+    transfer_size: int = 0
+    #: IPs in the DNS answer used for this request (empty on reuse).
+    dns_addresses: List[str] = field(default_factory=list)
+    #: Leaf certificate SAN entries when a new TLS session validated.
+    certificate_san: List[str] = field(default_factory=list)
+    certificate_issuer: str = ""
+    #: Origin AS of the server IP at the time of the request.
+    asn: int = 0
+    as_org: str = ""
+    secure: bool = True
+    fetch_mode: str = "normal"
+    coalesced: bool = False
+    #: Path of the resource whose parsing discovered this one ("" for
+    #: the root document) -- the initiator chain browsers record.
+    initiator_path: str = ""
+
+    @property
+    def finished_at(self) -> float:
+        return self.started_at + self.timings.total()
+
+    @property
+    def new_tls_connection(self) -> bool:
+        return self.timings.ssl >= 0.0
+
+
+@dataclass
+class HarPage:
+    """Page-level summary."""
+
+    url: str
+    hostname: str
+    rank: int = 0
+    on_content_load: float = 0.0
+    on_load: float = 0.0
+    success: bool = True
+    failure_reason: str = ""
+    #: Connections (with TLS handshakes) opened beyond those attributed
+    #: to entries: speculative/racing connections (paper §4.2 explains
+    #: why measured TLS counts exceed DNS counts).
+    extra_tls_connections: int = 0
+
+
+@dataclass
+class HarArchive:
+    """One page load: the page record and its entries."""
+
+    page: HarPage
+    entries: List[HarEntry] = field(default_factory=list)
+
+    @property
+    def request_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def page_load_time(self) -> float:
+        return self.page.on_load
+
+    def dns_query_count(self) -> int:
+        return sum(1 for entry in self.entries if entry.timings.used_dns)
+
+    def tls_connection_count(self) -> int:
+        return (
+            sum(1 for entry in self.entries if entry.new_tls_connection)
+            + self.page.extra_tls_connections
+        )
+
+    def new_connection_count(self) -> int:
+        return (
+            sum(1 for entry in self.entries
+                if entry.timings.used_new_connection)
+            + self.page.extra_tls_connections
+        )
+
+    def unique_asns(self) -> List[int]:
+        seen: List[int] = []
+        for entry in self.entries:
+            if entry.asn and entry.asn not in seen:
+                seen.append(entry.asn)
+        return seen
+
+    def entries_by_start(self) -> List[HarEntry]:
+        return sorted(self.entries, key=lambda entry: entry.started_at)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "page": asdict(self.page),
+            "entries": [asdict(entry) for entry in self.entries],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, doc: Dict) -> "HarArchive":
+        page = HarPage(**doc["page"])
+        entries = []
+        for raw in doc["entries"]:
+            raw = dict(raw)
+            raw["timings"] = HarTimings(**raw["timings"])
+            entries.append(HarEntry(**raw))
+        return cls(page=page, entries=entries)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HarArchive":
+        return cls.from_dict(json.loads(text))

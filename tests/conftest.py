@@ -1,0 +1,118 @@
+"""Shared fixtures: a small simulated world for browser-level tests."""
+
+import numpy as np
+import pytest
+
+from repro.browser import BrowserContext, BrowserEngine, ChromiumPolicy
+from repro.dnssim import AuthoritativeServer, CachingResolver, Zone
+from repro.h2 import H2Server, ServerConfig
+from repro.netsim import EventLoop, Host, LatencyModel, LinkSpec, Network
+from repro.tlspki import CertificateAuthority, TrustStore
+from repro.web import AsDatabase
+
+
+class SmallWorld:
+    """One CDN edge (two IPs), one independent origin, one client.
+
+    Hostnames:
+      www.site.com, static.site.com, thirdparty.cdn.com -> CDN edge
+      other.com                                         -> separate origin
+    """
+
+    def __init__(self, rtt=20.0, origin_set=None, dns_ttl=300_000.0):
+        self.latency = LatencyModel(
+            default=LinkSpec(rtt_ms=rtt, bandwidth_bpms=1e5)
+        )
+        self.network = Network(loop=EventLoop(), latency=self.latency)
+        self.rng = np.random.default_rng(42)
+
+        self.root_ca = CertificateAuthority("Root CA", rng=self.rng)
+        self.issuer = CertificateAuthority(
+            "CDN CA", parent=self.root_ca, rng=self.rng
+        )
+        self.trust = TrustStore([self.root_ca])
+        self.authorities = [self.root_ca, self.issuer]
+
+        self.edge = self.network.add_host(
+            Host("edge", "us-east", ["10.0.0.1", "10.0.0.2"])
+        )
+        self.origin = self.network.add_host(
+            Host("origin", "us-east", ["10.5.0.1"])
+        )
+        self.client_host = self.network.add_host(
+            Host("client", "us-east", ["10.9.0.1"])
+        )
+
+        if origin_set is None:
+            origin_set = (
+                "https://static.site.com",
+                "https://thirdparty.cdn.com",
+            )
+        self.site_cert = self.issuer.issue(
+            "www.site.com",
+            ("www.site.com", "static.site.com", "thirdparty.cdn.com"),
+        )
+        self.edge_config = ServerConfig(
+            chains=[self.issuer.chain_for(self.site_cert)],
+            serves=["www.site.com", "static.site.com",
+                    "thirdparty.cdn.com"],
+            origin_sets={"*": tuple(origin_set)},
+        )
+        self.edge_server = H2Server(self.network, self.edge,
+                                    self.edge_config)
+        self.edge_server.listen_all()
+
+        self.other_cert = self.issuer.issue("other.com", ("other.com",))
+        self.origin_config = ServerConfig(
+            chains=[self.issuer.chain_for(self.other_cert)],
+            serves=["other.com"],
+            origin_sets={},
+        )
+        self.origin_server = H2Server(self.network, self.origin,
+                                      self.origin_config)
+        self.origin_server.listen_all()
+
+        self.authority = AuthoritativeServer()
+        site_zone = Zone("site.com")
+        site_zone.add_a("www.site.com", ["10.0.0.1"], ttl=dns_ttl)
+        site_zone.add_a("static.site.com", ["10.0.0.1"], ttl=dns_ttl)
+        self.authority.add_zone(site_zone)
+        cdn_zone = Zone("cdn.com")
+        cdn_zone.add_a("thirdparty.cdn.com", ["10.0.0.2"], ttl=dns_ttl)
+        self.authority.add_zone(cdn_zone)
+        other_zone = Zone("other.com")
+        other_zone.add_a("other.com", ["10.5.0.1"], ttl=dns_ttl)
+        self.authority.add_zone(other_zone)
+
+        self.asdb = AsDatabase()
+        self.asdb.register("10.0.0.0/16", 13335, "CDN-AS")
+        self.asdb.register("10.5.0.0/16", 64500, "Origin-AS")
+
+        self.resolver = CachingResolver(
+            self.network.loop, self.authority, median_latency_ms=15.0
+        )
+
+    def context(self, policy=None, **kwargs) -> BrowserContext:
+        return BrowserContext(
+            network=self.network,
+            client_host=self.client_host,
+            resolver=self.resolver,
+            trust_store=self.trust,
+            authorities=self.authorities,
+            policy=policy or ChromiumPolicy(),
+            asdb=self.asdb,
+            **kwargs,
+        )
+
+    def engine(self, policy=None, **kwargs) -> BrowserEngine:
+        return BrowserEngine(self.context(policy=policy, **kwargs))
+
+
+@pytest.fixture
+def small_world():
+    return SmallWorld()
+
+
+@pytest.fixture
+def make_world():
+    return SmallWorld

@@ -1,0 +1,75 @@
+"""Tests for the ASCII waterfall renderer."""
+
+import pytest
+
+from repro.analysis import render_waterfall
+from repro.web.har import HarArchive, HarEntry, HarPage, HarTimings
+
+
+def make_archive():
+    entries = [
+        HarEntry(
+            url="https://www.a.com/", hostname="www.a.com", path="/",
+            started_at=0.0,
+            timings=HarTimings(dns=20.0, connect=30.0, ssl=30.0,
+                               wait=40.0, receive=30.0),
+        ),
+        HarEntry(
+            url="https://cdn.a.com/x.js", hostname="cdn.a.com",
+            path="/x.js", started_at=160.0,
+            timings=HarTimings(wait=20.0, receive=20.0),
+            coalesced=True,
+        ),
+    ]
+    return HarArchive(
+        page=HarPage(url="https://www.a.com/", hostname="www.a.com",
+                     on_load=200.0),
+        entries=entries,
+    )
+
+
+class TestWaterfall:
+    def test_renders_one_row_per_entry(self):
+        text = render_waterfall(make_archive())
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + 2 entries + legend
+        assert "www.a.com/" in lines[1]
+        assert "cdn.a.com/x.js" in lines[2]
+
+    def test_phases_appear_in_order(self):
+        text = render_waterfall(make_archive())
+        root_row = text.splitlines()[1]
+        assert root_row.index("D") < root_row.index("C") \
+            < root_row.index("S") < root_row.index("#")
+
+    def test_coalesced_entries_flagged(self):
+        text = render_waterfall(make_archive())
+        rows = text.splitlines()
+        assert "*" in rows[2]
+        assert "*" not in rows[1].replace("*=coalesced", "")
+
+    def test_reused_connection_shows_no_setup_phases(self):
+        text = render_waterfall(make_archive())
+        cdn_row = text.splitlines()[2]
+        bar = cdn_row.split("*", 1)[1]
+        assert "D" not in bar and "C" not in bar and "S" not in bar
+        assert "#" in bar
+
+    def test_later_entries_start_further_right(self):
+        text = render_waterfall(make_archive())
+        rows = text.splitlines()
+        first_bar_start = len(rows[1]) - len(rows[1][31:].lstrip())
+        second_bar_start = len(rows[2]) - len(rows[2][31:].lstrip())
+        assert rows[2].index("#") > rows[1].index("D")
+
+    def test_empty_archive(self):
+        empty = HarArchive(page=HarPage(url="u", hostname="h"))
+        assert render_waterfall(empty) == "(empty timeline)"
+
+    def test_limit_and_label_truncation(self):
+        archive = make_archive()
+        archive.entries[0].path = "/" + "x" * 100
+        text = render_waterfall(archive, limit=1, label_width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 1 entry + legend
+        assert "~" in lines[1]  # truncated label marker

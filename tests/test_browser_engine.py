@@ -1,0 +1,289 @@
+"""Integration tests: the page-load engine over the simulated world."""
+
+import numpy as np
+import pytest
+
+from repro.browser import (
+    BrowserEngine,
+    ChromiumPolicy,
+    FirefoxPolicy,
+    IdealOriginPolicy,
+    NoCoalescingPolicy,
+)
+from repro.web import ContentType, FetchMode, Subresource, WebPage
+
+
+def simple_page(**kwargs):
+    """Root on www.site.com with three subresources on CDN hostnames
+    plus one on an unrelated origin."""
+    defaults = dict(
+        hostname="www.site.com",
+        resources=[
+            Subresource("static.site.com", "/app.js",
+                        ContentType.APPLICATION_JAVASCRIPT, 20_000),
+            Subresource("static.site.com", "/style.css",
+                        ContentType.TEXT_CSS, 14_000),
+            Subresource("thirdparty.cdn.com", "/lib.js",
+                        ContentType.APPLICATION_JAVASCRIPT, 30_000),
+            Subresource("other.com", "/pixel.gif",
+                        ContentType.IMAGE_GIF, 2_000),
+        ],
+    )
+    defaults.update(kwargs)
+    return WebPage(**defaults)
+
+
+class TestBasicPageLoad:
+    def test_all_requests_complete(self, small_world):
+        archive = small_world.engine().load_blocking(simple_page())
+        assert archive.request_count == 5
+        assert all(entry.status == 200 for entry in archive.entries)
+        assert archive.page.success
+
+    def test_page_load_time_positive_and_ordered(self, small_world):
+        archive = small_world.engine().load_blocking(simple_page())
+        assert archive.page.on_load > 0
+        assert archive.page.on_content_load <= archive.page.on_load
+
+    def test_root_entry_has_full_connection_setup(self, small_world):
+        archive = small_world.engine().load_blocking(simple_page())
+        root = archive.entries_by_start()[0]
+        assert root.hostname == "www.site.com"
+        assert root.timings.dns > 0
+        assert root.timings.connect > 0
+        assert root.timings.ssl > 0
+        assert root.certificate_san  # validated a new chain
+
+    def test_asn_annotation(self, small_world):
+        archive = small_world.engine().load_blocking(simple_page())
+        orgs = {entry.hostname: entry.as_org for entry in archive.entries}
+        assert orgs["www.site.com"] == "CDN-AS"
+        assert orgs["other.com"] == "Origin-AS"
+        assert set(archive.unique_asns()) == {13335, 64500}
+
+    def test_har_entries_have_consistent_timings(self, small_world):
+        archive = small_world.engine().load_blocking(simple_page())
+        for entry in archive.entries:
+            entry.timings.validate()
+            assert entry.finished_at >= entry.started_at
+
+
+class TestSameHostReuse:
+    def test_second_resource_on_same_host_reuses(self, small_world):
+        page = simple_page()
+        archive = small_world.engine().load_blocking(page)
+        static_entries = [e for e in archive.entries
+                          if e.hostname == "static.site.com"]
+        assert len(static_entries) == 2
+        # One opened the connection; the other reused it.
+        fresh = [e for e in static_entries if e.new_tls_connection]
+        reused = [e for e in static_entries if not e.new_tls_connection]
+        assert len(fresh) <= 1
+        assert len(reused) >= 1
+        for entry in reused:
+            assert entry.timings.connect == -1.0
+            assert entry.timings.ssl == -1.0
+
+
+class TestChromiumCoalescing:
+    def test_same_ip_subresource_coalesces(self, small_world):
+        # static.site.com resolves to the same IP as www.site.com.
+        archive = small_world.engine(ChromiumPolicy()).load_blocking(
+            simple_page()
+        )
+        static = [e for e in archive.entries
+                  if e.hostname == "static.site.com"]
+        assert any(e.coalesced for e in static)
+        coalesced = [e for e in static if e.coalesced]
+        # Browser still queried DNS before deciding (§2.3).
+        assert all(e.timings.dns >= 0 or e.timings.dns == -1.0
+                   for e in coalesced)
+        assert all(not e.new_tls_connection for e in coalesced)
+
+    def test_different_ip_subresource_does_not_coalesce(self, small_world):
+        # thirdparty.cdn.com resolves to 10.0.0.2, root connected 10.0.0.1.
+        archive = small_world.engine(ChromiumPolicy()).load_blocking(
+            simple_page()
+        )
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(not e.coalesced for e in third)
+        assert all(e.new_tls_connection for e in third)
+
+
+class TestFirefoxCoalescing:
+    def test_origin_frame_coalesces_across_ips(self, small_world):
+        # thirdparty.cdn.com is in the edge's ORIGIN set and its SAN.
+        archive = small_world.engine(FirefoxPolicy()).load_blocking(
+            simple_page()
+        )
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(e.coalesced for e in third)
+        assert all(not e.new_tls_connection for e in third)
+        # Firefox still paid the DNS query (§6.8).
+        assert all(e.timings.dns >= 0 for e in third)
+
+    def test_unrelated_origin_not_coalesced(self, small_world):
+        archive = small_world.engine(FirefoxPolicy()).load_blocking(
+            simple_page()
+        )
+        other = [e for e in archive.entries if e.hostname == "other.com"]
+        assert all(not e.coalesced for e in other)
+        assert all(e.new_tls_connection for e in other)
+
+    def test_firefox_without_origin_misses_third_party(self, small_world):
+        archive = small_world.engine(
+            FirefoxPolicy(origin_frames=False)
+        ).load_blocking(simple_page())
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(not e.coalesced for e in third)
+
+
+class TestIdealOriginClient:
+    def test_coalesced_resources_skip_dns(self, small_world):
+        archive = small_world.engine(IdealOriginPolicy()).load_blocking(
+            simple_page()
+        )
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(e.coalesced for e in third)
+        assert all(e.timings.dns == -1.0 for e in third)
+
+    def test_fewer_connections_than_chromium(self, make_world):
+        chromium_archive = make_world().engine(
+            ChromiumPolicy()
+        ).load_blocking(simple_page())
+        ideal_archive = make_world().engine(
+            IdealOriginPolicy()
+        ).load_blocking(simple_page())
+        assert (
+            ideal_archive.tls_connection_count()
+            < chromium_archive.tls_connection_count()
+        )
+        assert (
+            ideal_archive.dns_query_count()
+            < chromium_archive.dns_query_count()
+        )
+
+
+class TestFetchModes:
+    def test_anonymous_fetch_not_coalesced(self, small_world):
+        page = WebPage(
+            hostname="www.site.com",
+            resources=[
+                Subresource("thirdparty.cdn.com", "/lib.js",
+                            ContentType.APPLICATION_JAVASCRIPT, 30_000,
+                            fetch_mode=FetchMode.CORS_ANONYMOUS),
+            ],
+        )
+        archive = small_world.engine(FirefoxPolicy()).load_blocking(page)
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(not e.coalesced for e in third)
+        assert all(e.new_tls_connection for e in third)
+        assert third[0].fetch_mode == "cors-anonymous"
+
+    def test_script_fetch_not_coalesced(self, small_world):
+        page = WebPage(
+            hostname="www.site.com",
+            resources=[
+                Subresource("thirdparty.cdn.com", "/data.json",
+                            ContentType.APPLICATION_JSON, 3_000,
+                            fetch_mode=FetchMode.SCRIPT_FETCH),
+            ],
+        )
+        archive = small_world.engine(FirefoxPolicy()).load_blocking(page)
+        third = [e for e in archive.entries
+                 if e.hostname == "thirdparty.cdn.com"]
+        assert all(not e.coalesced for e in third)
+
+
+class TestNoCoalescing:
+    def test_every_host_gets_own_connection(self, small_world):
+        archive = small_world.engine(NoCoalescingPolicy()).load_blocking(
+            simple_page()
+        )
+        hosts_with_new_conns = {
+            e.hostname for e in archive.entries if e.new_tls_connection
+        }
+        assert hosts_with_new_conns == {
+            "www.site.com", "static.site.com", "thirdparty.cdn.com",
+            "other.com",
+        }
+
+
+class TestDependencyTiming:
+    def test_child_starts_after_parent_finishes(self, small_world):
+        page = WebPage(
+            hostname="www.site.com",
+            resources=[
+                Subresource("static.site.com", "/style.css",
+                            ContentType.TEXT_CSS, 14_000),
+                Subresource("static.site.com", "/font.woff",
+                            ContentType.FONT_WOFF2, 28_000,
+                            parent="/style.css",
+                            discovery_delay_ms=3.0),
+            ],
+        )
+        archive = small_world.engine().load_blocking(page)
+        by_path = {e.path: e for e in archive.entries}
+        css = by_path["/style.css"]
+        font = by_path["/font.woff"]
+        assert font.started_at >= css.finished_at + 3.0 - 1e-6
+
+
+class TestSpeculativeConnections:
+    def test_extra_tls_connections_recorded(self, make_world):
+        world = make_world()
+        engine = world.engine(
+            ChromiumPolicy(),
+            rng=np.random.default_rng(1),
+            speculative_rate=1.0,
+        )
+        archive = engine.load_blocking(simple_page())
+        assert archive.page.extra_tls_connections > 0
+        assert archive.tls_connection_count() > archive.dns_query_count()
+
+
+class TestCache:
+    def test_warm_load_uses_cache(self, make_world):
+        world = make_world()
+        engine = world.engine(ChromiumPolicy(), cache_enabled=True)
+        page = simple_page()
+        cold = engine.load_blocking(page)
+        warm = engine.load_blocking(page)
+        assert warm.tls_connection_count() <= cold.tls_connection_count()
+        cached = [e for e in warm.entries if e.protocol == "cache"]
+        assert cached
+
+    def test_new_session_flushes_cache(self, make_world):
+        world = make_world()
+        engine = world.engine(ChromiumPolicy(), cache_enabled=True)
+        page = simple_page()
+        engine.load_blocking(page)
+        engine.new_session()
+        reload = engine.load_blocking(page)
+        assert not [e for e in reload.entries if e.protocol == "cache"]
+
+
+class TestFailures:
+    def test_unresolvable_root_fails_page(self, small_world):
+        page = WebPage(hostname="www.does-not-exist.example")
+        archive = small_world.engine().load_blocking(page)
+        assert not archive.page.success
+        assert archive.entries[0].status == 0
+
+    def test_unresolvable_subresource_does_not_fail_page(self, small_world):
+        page = WebPage(
+            hostname="www.site.com",
+            resources=[
+                Subresource("missing.example", "/x.js",
+                            ContentType.TEXT_JAVASCRIPT, 100),
+            ],
+        )
+        archive = small_world.engine().load_blocking(page)
+        assert archive.page.success
+        statuses = {e.hostname: e.status for e in archive.entries}
+        assert statuses["missing.example"] == 0

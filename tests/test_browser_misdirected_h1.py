@@ -1,0 +1,149 @@
+"""421 retry behaviour and HTTP/1.1 ALPN fallback in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.browser import BrowserContext, BrowserEngine, FirefoxPolicy
+from repro.dnssim import AuthoritativeServer, CachingResolver, Zone
+from repro.h2 import H2Server, ServerConfig
+from repro.netsim import EventLoop, Host, LatencyModel, LinkSpec, Network
+from repro.tlspki import CertificateAuthority, TrustStore
+from repro.web import ContentType, Subresource, WebPage
+
+
+def build_world(misconfigured_origin=False, legacy_host=False):
+    """Server A: www.a.com, cert also covers api.b.com; Server B
+    actually serves api.b.com.  With ``misconfigured_origin`` server A
+    advertises api.b.com in its ORIGIN set despite not serving it --
+    the 421 scenario."""
+    network = Network(
+        loop=EventLoop(),
+        latency=LatencyModel(default=LinkSpec(rtt_ms=20.0,
+                                              bandwidth_bpms=1e5)),
+    )
+    rng = np.random.default_rng(5)
+    root_ca = CertificateAuthority("Root", rng=rng)
+    trust = TrustStore([root_ca])
+
+    host_a = network.add_host(Host("a", "us", ["10.0.0.1"]))
+    host_b = network.add_host(Host("b", "us", ["10.0.0.2"]))
+    client = network.add_host(Host("client", "us", ["10.9.0.1"]))
+
+    cert_a = root_ca.issue("www.a.com", ("www.a.com", "api.b.com"))
+    origins = ("https://api.b.com",) if misconfigured_origin else ()
+    server_a = H2Server(network, host_a, ServerConfig(
+        chains=[root_ca.chain_for(cert_a)],
+        serves=["www.a.com"],  # NOT api.b.com, despite cert and ORIGIN
+        origin_sets={"*": origins},
+    ))
+    server_a.listen_all()
+
+    cert_b = root_ca.issue("api.b.com", ("api.b.com",))
+    server_b = H2Server(network, host_b, ServerConfig(
+        chains=[root_ca.chain_for(cert_b)],
+        serves=["api.b.com"],
+        alpn_protocols=("http/1.1",) if legacy_host else ("h2", "http/1.1"),
+    ))
+    server_b.listen_all()
+
+    authority = AuthoritativeServer()
+    zone_a = Zone("a.com")
+    zone_a.add_a("www.a.com", ["10.0.0.1"])
+    authority.add_zone(zone_a)
+    zone_b = Zone("b.com")
+    zone_b.add_a("api.b.com", ["10.0.0.2"])
+    authority.add_zone(zone_b)
+
+    resolver = CachingResolver(network.loop, authority,
+                               median_latency_ms=15.0)
+    context = BrowserContext(
+        network=network,
+        client_host=client,
+        resolver=resolver,
+        trust_store=trust,
+        authorities=[root_ca],
+        policy=FirefoxPolicy(origin_frames=True),
+    )
+    return network, context, server_a, server_b
+
+
+PAGE = WebPage(
+    hostname="www.a.com",
+    resources=[
+        Subresource("api.b.com", "/v1/data",
+                    ContentType.APPLICATION_JSON, 3_000),
+    ],
+)
+
+
+class TestMisdirectedRetry:
+    def test_421_then_retry_succeeds(self):
+        network, context, server_a, server_b = build_world(
+            misconfigured_origin=True
+        )
+        archive = BrowserEngine(context).load_blocking(PAGE)
+        api = [e for e in archive.entries if e.hostname == "api.b.com"]
+        assert len(api) == 1
+        entry = api[0]
+        # The final outcome is a 200 from server B on a fresh connection.
+        assert entry.status == 200
+        assert entry.new_tls_connection
+        assert not entry.coalesced
+        # Server A ate the misdirected attempt.
+        assert server_a.stats.misdirected == 1
+        assert server_b.stats.requests == 1
+        # The wasted round trips show up as blocked time ("incurring
+        # additional RTT penalties", §2.2).
+        assert entry.timings.blocked > 0
+
+    def test_no_origin_no_misdirection(self):
+        network, context, server_a, server_b = build_world(
+            misconfigured_origin=False
+        )
+        archive = BrowserEngine(context).load_blocking(PAGE)
+        assert server_a.stats.misdirected == 0
+        api = [e for e in archive.entries if e.hostname == "api.b.com"]
+        assert api[0].status == 200
+
+    def test_misdirection_is_slower_than_direct(self):
+        _, context_bad, _, _ = build_world(misconfigured_origin=True)
+        bad = BrowserEngine(context_bad).load_blocking(PAGE)
+        _, context_good, _, _ = build_world(misconfigured_origin=False)
+        good = BrowserEngine(context_good).load_blocking(PAGE)
+        bad_api = [e for e in bad.entries if e.hostname == "api.b.com"][0]
+        good_api = [e for e in good.entries if e.hostname == "api.b.com"][0]
+        assert bad_api.finished_at > good_api.finished_at
+
+
+class TestH1Fallback:
+    def test_legacy_host_negotiates_http11(self):
+        network, context, _, server_b = build_world(legacy_host=True)
+        archive = BrowserEngine(context).load_blocking(PAGE)
+        api = [e for e in archive.entries if e.hostname == "api.b.com"][0]
+        assert api.status == 200
+        assert api.protocol == "http/1.1"
+
+    def test_h1_requests_serialize_on_one_connection(self):
+        network, context, _, server_b = build_world(legacy_host=True)
+        page = WebPage(
+            hostname="www.a.com",
+            resources=[
+                Subresource("api.b.com", f"/v1/item{i}",
+                            ContentType.APPLICATION_JSON, 3_000)
+                for i in range(3)
+            ],
+        )
+        archive = BrowserEngine(context).load_blocking(page)
+        api = [e for e in archive.entries if e.hostname == "api.b.com"]
+        assert [e.status for e in api] == [200, 200, 200]
+        assert all(e.protocol == "http/1.1" for e in api)
+        # At most 6 connections per host; with 3 requests discovered
+        # together the browser opens up to 3.
+        fresh = [e for e in api if e.new_tls_connection]
+        assert 1 <= len(fresh) <= 3
+
+    def test_h1_never_coalesces(self):
+        network, context, _, _ = build_world(legacy_host=True)
+        archive = BrowserEngine(context).load_blocking(PAGE)
+        api = [e for e in archive.entries if e.hostname == "api.b.com"]
+        assert all(not e.coalesced for e in api)

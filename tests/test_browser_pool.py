@@ -1,0 +1,123 @@
+"""Unit tests for the connection pool's lookup logic."""
+
+import pytest
+
+from repro.browser.policy import ConnectionFacts, FirefoxPolicy
+from repro.browser.pool import ConnectionPool, MAX_H1_CONNECTIONS_PER_HOST
+
+
+class FakeSession:
+    def __init__(self, multiplex=True, busy=False, san=(), origins=()):
+        self.can_multiplex = multiplex
+        self.h1_busy = busy
+        self.closed = False
+        self.failed = None
+        self._san = set(san)
+        self._origins = set(origins)
+
+    def certificate_covers(self, hostname):
+        return hostname in self._san
+
+    def origin_set_covers(self, hostname):
+        return hostname in self._origins
+
+
+def make_pool():
+    return ConnectionPool(
+        network=None, client_host=None,
+        policy=FirefoxPolicy(origin_frames=True),
+        tls_config_factory=lambda sni: None,
+    )
+
+
+def add(pool, sni, **kwargs):
+    anonymous = kwargs.pop("anonymous", False)
+    available = kwargs.pop("available", ("10.0.0.1",))
+    facts = ConnectionFacts(
+        session=FakeSession(**kwargs),
+        sni=sni,
+        connected_ip=list(available)[0],
+        available_set=frozenset(available),
+        anonymous_partition=anonymous,
+    )
+    pool.connections.append(facts)
+    return facts
+
+
+class TestFindSameHost:
+    def test_finds_h2_session(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com")
+        assert pool.find_same_host("www.a.com") is facts
+
+    def test_ignores_other_hosts(self):
+        pool = make_pool()
+        add(pool, "www.a.com")
+        assert pool.find_same_host("www.b.com") is None
+
+    def test_ignores_closed_sessions(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com")
+        facts.session.closed = True
+        assert pool.find_same_host("www.a.com") is None
+
+    def test_anonymous_partition_isolated(self):
+        pool = make_pool()
+        add(pool, "www.a.com", anonymous=False)
+        assert pool.find_same_host("www.a.com", anonymous=True) is None
+
+    def test_busy_h1_skipped_until_cap(self):
+        pool = make_pool()
+        add(pool, "www.a.com", multiplex=False, busy=True)
+        # One busy H1 connection: the caller should open another.
+        assert pool.find_same_host("www.a.com") is None
+
+    def test_idle_h1_preferred(self):
+        pool = make_pool()
+        add(pool, "www.a.com", multiplex=False, busy=True)
+        idle = add(pool, "www.a.com", multiplex=False, busy=False)
+        assert pool.find_same_host("www.a.com") is idle
+
+    def test_h1_cap_forces_reuse(self):
+        pool = make_pool()
+        for _ in range(MAX_H1_CONNECTIONS_PER_HOST):
+            add(pool, "www.a.com", multiplex=False, busy=True)
+        # All busy and at the cap: queue on an existing connection.
+        assert pool.find_same_host("www.a.com") is not None
+
+
+class TestFindCoalescable:
+    def test_policy_match(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com",
+                    san=("www.a.com", "cdn.a.com"),
+                    origins=("cdn.a.com",))
+        found = pool.find_coalescable("cdn.a.com", ["10.9.9.9"])
+        assert found is facts
+
+    def test_same_host_excluded(self):
+        pool = make_pool()
+        add(pool, "www.a.com", san=("www.a.com",))
+        assert pool.find_coalescable("www.a.com", ["10.0.0.1"]) is None
+
+    def test_anonymous_requests_never_coalesce(self):
+        pool = make_pool()
+        add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
+            origins=("cdn.a.com",))
+        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"],
+                                     anonymous=True) is None
+
+    def test_anonymous_connections_never_donate(self):
+        pool = make_pool()
+        add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
+            origins=("cdn.a.com",), anonymous=True)
+        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+
+    def test_ip_overlap_path(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com",
+                    san=("www.a.com", "shard.a.com"),
+                    available=("10.0.0.1", "10.0.0.2"))
+        found = pool.find_coalescable("shard.a.com",
+                                      ["10.0.0.2", "10.0.0.3"])
+        assert found is facts

@@ -1,0 +1,56 @@
+"""CLI smoke tests (tiny scales; each command end to end)."""
+
+import pytest
+
+from repro.cli import POLICIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_crawl_defaults(self):
+        args = build_parser().parse_args(["crawl"])
+        assert args.sites == 150
+        assert args.policy == "chromium"
+
+    def test_policy_choices_cover_registry(self):
+        for name in POLICIES:
+            args = build_parser().parse_args(["crawl", "--policy", name])
+            assert args.policy == name
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--policy", "safari"])
+
+    def test_deploy_phases(self):
+        args = build_parser().parse_args(["deploy", "--phase", "ip"])
+        assert args.phase == "ip"
+
+
+class TestCommands:
+    def test_crawl_command(self, capsys):
+        assert main(["crawl", "--sites", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+
+    def test_model_command(self, capsys):
+        assert main(["model", "--sites", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "headline" in out
+
+    def test_deploy_command(self, capsys):
+        assert main(["deploy", "--sites", "80", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "passive reduction" in out
+
+    def test_privacy_command(self, capsys):
+        assert main(["privacy", "--sites", "25", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Privacy" in out
+        assert "signal reduction" in out

@@ -1,0 +1,148 @@
+"""Tests for the Tranco list, page generator, and plan invariants."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import DatasetConfig, PageGenerator
+from repro.dataset.tranco import TrancoList
+from repro.web.page import FetchMode
+
+
+class TestTrancoList:
+    def test_entries_are_ranked_and_deterministic(self):
+        tranco = TrancoList(100)
+        assert len(tranco) == 100
+        first = tranco.entry(1)
+        assert first.rank == 1
+        assert first.domain == TrancoList(100).entry(1).domain
+
+    def test_domains_unique(self):
+        tranco = TrancoList(500)
+        domains = [entry.domain for entry in tranco]
+        assert len(set(domains)) == 500
+
+    def test_rank_bounds_enforced(self):
+        tranco = TrancoList(10)
+        with pytest.raises(IndexError):
+            tranco.entry(0)
+        with pytest.raises(IndexError):
+            tranco.entry(11)
+
+    def test_bucketing(self):
+        tranco = TrancoList(500_000)
+        assert tranco.bucket_of(1) == 0
+        assert tranco.bucket_of(100_000) == 0
+        assert tranco.bucket_of(100_001) == 1
+        assert tranco.bucket_of(500_000) == 4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TrancoList(0)
+
+
+@pytest.fixture(scope="module")
+def records():
+    config = DatasetConfig(site_count=300, seed=11)
+    return PageGenerator(config).generate_all(), config
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_plan(self):
+        config = DatasetConfig(site_count=20, seed=5)
+        a = PageGenerator(config).generate_all()
+        b = PageGenerator(config).generate_all()
+        assert [r.provider for r in a] == [r.provider for r in b]
+        assert [r.cert_san for r in a] == [r.cert_san for r in b]
+        assert [len(r.page.resources) for r in a] == \
+            [len(r.page.resources) for r in b]
+
+    def test_different_seed_different_plan(self):
+        a = PageGenerator(DatasetConfig(site_count=20, seed=5)).generate_all()
+        b = PageGenerator(DatasetConfig(site_count=20, seed=6)).generate_all()
+        assert [len(r.page.resources) for r in a] != \
+            [len(r.page.resources) for r in b]
+
+
+class TestPlanShape:
+    def test_scaled_ranks_span_the_rank_space(self, records):
+        sites, config = records
+        ranks = [site.scaled_rank for site in sites]
+        assert min(ranks) >= 1
+        assert max(ranks) <= config.rank_space
+        assert max(ranks) > 400_000  # covers the tail buckets
+
+    def test_subresource_median_near_paper(self, records):
+        sites, _ = records
+        counts = [len(site.page.resources) for site in sites]
+        median = float(np.median(counts))
+        assert 55 <= median <= 115  # paper: 81
+
+    def test_provider_shares_near_targets(self, records):
+        sites, _ = records
+        cloudflare = sum(1 for s in sites if s.provider == "Cloudflare")
+        tail = sum(1 for s in sites if s.self_hosted)
+        assert 0.15 <= cloudflare / len(sites) <= 0.35  # paper: 24.74%
+        assert 0.35 <= tail / len(sites) <= 0.60
+
+    def test_success_rate_near_paper(self, records):
+        sites, _ = records
+        rate = sum(1 for s in sites if s.accessible) / len(sites)
+        assert 0.55 <= rate <= 0.72  # paper: 63.5%
+
+    def test_every_page_graph_is_valid(self, records):
+        sites, _ = records
+        for site in sites:
+            # WebPage constructor validates the dependency graph.
+            assert site.page.request_count == 1 + len(site.page.resources)
+
+    def test_san_median_near_two(self, records):
+        sites, _ = records
+        san_counts = [len(s.cert_san) for s in sites if s.cert_san]
+        assert 2 <= float(np.median(san_counts)) <= 3  # paper: 2
+
+    def test_some_zero_san_sites(self, records):
+        sites, _ = records
+        zero = sum(1 for s in sites if not s.cert_san)
+        assert 0 < zero / len(sites) < 0.10  # paper: ~3.5%
+
+    def test_anonymous_fetches_present(self, records):
+        sites, _ = records
+        modes = [
+            resource.fetch_mode
+            for site in sites
+            for resource in site.page.resources
+        ]
+        anonymous = sum(
+            1 for mode in modes if mode is not FetchMode.NORMAL
+        )
+        assert 0.02 < anonymous / len(modes) < 0.30
+
+    def test_insecure_rate_near_paper(self, records):
+        sites, _ = records
+        flags = [
+            resource.secure
+            for site in sites
+            for resource in site.page.resources
+        ]
+        insecure = sum(1 for secure in flags if not secure)
+        assert 0.005 < insecure / len(flags) < 0.035  # paper: 1.47%
+
+    def test_popular_hosts_used_by_many_pages(self, records):
+        sites, _ = records
+        using_ga = sum(
+            1 for site in sites
+            if any(r.hostname == "www.google-analytics.com"
+                   for r in site.page.resources)
+        )
+        assert using_ga / len(sites) > 0.4
+
+    def test_tail_third_parties_shared(self, records):
+        sites, _ = records
+        generator = PageGenerator(DatasetConfig(site_count=300, seed=11))
+        pool = {t.hostname for t in generator.tail_third_parties}
+        seen = set()
+        for site in sites:
+            for resource in site.page.resources:
+                if resource.hostname in pool:
+                    seen.add(resource.hostname)
+        assert len(seen) > 20

@@ -1,0 +1,67 @@
+"""Pure-function unit tests for deployment analysis pieces."""
+
+import pytest
+
+from repro.deployment.experiment import Group
+from repro.deployment.longitudinal import DailyRates
+from repro.deployment.passive import LogRecord
+
+
+class TestDailyRates:
+    def make(self):
+        return DailyRates(
+            days=[0, 1, 2, 3, 4, 5],
+            experiment=[20, 21, 5, 5, 20, 19],
+            control=[20, 22, 20, 21, 20, 20],
+            deployment_window=(2, 4),
+        )
+
+    def test_window_membership(self):
+        rates = self.make()
+        assert not rates.in_window(1)
+        assert rates.in_window(2)
+        assert rates.in_window(3)
+        assert not rates.in_window(4)
+
+    def test_reduction_during(self):
+        rates = self.make()
+        # experiment 5 vs control 20.5 -> ~75.6% reduction.
+        assert rates.reduction_during_deployment() == pytest.approx(
+            1 - 5 / 20.5
+        )
+
+    def test_reduction_outside_is_small(self):
+        rates = self.make()
+        assert abs(rates.reduction_outside_deployment()) < 0.05
+
+    def test_no_window_means_no_reduction(self):
+        rates = DailyRates(days=[0], experiment=[1], control=[2],
+                           deployment_window=None)
+        assert rates.reduction_during_deployment() == 0.0
+        assert not rates.in_window(0)
+
+    def test_mean_rate_handles_missing_days(self):
+        rates = self.make()
+        assert rates.mean_rate(Group.CONTROL, [99]) == 0.0
+
+
+class TestLogRecord:
+    def test_flag_bit_semantics(self):
+        coalesced = LogRecord(
+            timestamp=0.0, connection_id=1, sni="www.site.com",
+            authority="cdnjs.cloudflare.com", arrival_index=3,
+            referer="https://www.site.com/", group=Group.EXPERIMENT,
+            sni_host_mismatch=True,
+        )
+        direct = LogRecord(
+            timestamp=0.0, connection_id=2,
+            sni="cdnjs.cloudflare.com",
+            authority="cdnjs.cloudflare.com", arrival_index=1,
+            referer="https://www.site.com/", group=Group.CONTROL,
+            sni_host_mismatch=False,
+        )
+        assert coalesced.sni_host_mismatch
+        assert not direct.sni_host_mismatch
+        # Records are frozen (pipeline integrity).
+        with pytest.raises(Exception):
+            coalesced.timestamp = 1.0

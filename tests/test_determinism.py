@@ -1,0 +1,84 @@
+"""End-to-end determinism: identical seeds give identical results.
+
+The whole point of the simulated substrate is bit-for-bit
+reproducibility of every table and figure; this guards it.
+"""
+
+import pytest
+
+from repro.browser import FirefoxPolicy
+from repro.core import figure3, headline_reductions, plan_certificates
+from repro.dataset import characterize
+from repro.dataset.crawler import Crawler
+from repro.dataset.generator import DatasetConfig
+from repro.dataset.world import build_world
+
+
+def run_pipeline(seed=77, sites=25):
+    world = build_world(DatasetConfig(site_count=sites, seed=seed))
+    result = Crawler(world, policy=FirefoxPolicy(),
+                     speculative_rate=0.10, seed=seed).crawl()
+    return world, result
+
+
+@pytest.fixture(scope="module")
+def pipeline_a():
+    return run_pipeline()
+
+
+@pytest.fixture(scope="module")
+def pipeline_b():
+    return run_pipeline()
+
+
+@pytest.fixture(scope="module")
+def pipeline_other_seed():
+    return run_pipeline(seed=78)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_crawls(self, pipeline_a,
+                                              pipeline_b):
+        _, first = pipeline_a
+        _, second = pipeline_b
+        assert first.attempted == second.attempted
+        assert first.success_count == second.success_count
+        for a, b in zip(first.archives, second.archives):
+            assert a.page.on_load == b.page.on_load
+            assert a.dns_query_count() == b.dns_query_count()
+            assert a.tls_connection_count() == b.tls_connection_count()
+            assert [e.url for e in a.entries] == \
+                [e.url for e in b.entries]
+            assert [e.started_at for e in a.entries] == \
+                [e.started_at for e in b.entries]
+
+    def test_identical_seeds_identical_analyses(self, pipeline_a,
+                                                pipeline_b):
+        world_a, first = pipeline_a
+        world_b, second = pipeline_b
+        assert figure3(first.archives).medians() == \
+            figure3(second.archives).medians()
+        assert headline_reductions(first.archives) == \
+            headline_reductions(second.archives)
+        plan_a = plan_certificates(world_a)
+        plan_b = plan_certificates(world_b)
+        assert plan_a.unchanged_fraction == plan_b.unchanged_fraction
+        assert plan_a.existing_san_counts() == \
+            plan_b.existing_san_counts()
+
+    def test_identical_seeds_identical_characterization(
+        self, pipeline_a, pipeline_b
+    ):
+        _, first = pipeline_a
+        _, second = pipeline_b
+        assert characterize.table3(first.successes) == \
+            characterize.table3(second.successes)
+        assert characterize.table7(first.successes) == \
+            characterize.table7(second.successes)
+
+    def test_different_seeds_differ(self, pipeline_a,
+                                    pipeline_other_seed):
+        _, first = pipeline_a
+        _, second = pipeline_other_seed
+        assert [a.page.on_load for a in first.archives] != \
+            [a.page.on_load for a in second.archives]

@@ -1,0 +1,52 @@
+"""Smoke tests: the runnable examples stay runnable."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "Chromium" in result.stdout
+        assert "ORIGIN" in result.stdout
+        assert "coalesced" in result.stdout
+
+    def test_origin_frame_server(self):
+        result = run_example("origin_frame_server.py")
+        assert result.returncode == 0, result.stderr
+        assert "ORIGIN frame bytes" in result.stdout
+        assert "421" in result.stdout
+        assert "fail-open" in result.stdout
+
+    def test_middlebox_incident(self):
+        result = run_example("middlebox_incident.py")
+        assert result.returncode == 0, result.stderr
+        assert "FAILED" in result.stdout      # phase 2 breaks
+        assert "phase 4" in result.stdout     # and the fix lands
+
+    def test_waterfall_reconstruction(self):
+        result = run_example("waterfall_reconstruction.py")
+        assert result.returncode == 0, result.stderr
+        assert "MEASURED" in result.stdout
+        assert "RECONSTRUCTED" in result.stdout
+        assert "coalesced" in result.stdout
+
+    def test_coalescing_study_small(self):
+        result = run_example("coalescing_study.py", "30")
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert "Figure 3" in result.stdout
+        assert "certificate plan" in result.stdout

@@ -1,0 +1,135 @@
+"""Fuzz/property tests: parsers must never crash unexpectedly.
+
+Wire parsers face attacker-controlled bytes; the only acceptable
+failure mode is the protocol's own error type.  Hypothesis drives
+random and structured-mutation inputs through the HTTP/2 frame parser,
+the HPACK decoder, the TLS record layer, and the HTTP/1.1 message
+parser.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.h2 import (
+    H2Connection,
+    H2ConnectionError,
+    HpackDecoder,
+    HpackError,
+    Role,
+    parse_frames,
+)
+from repro.h2.frames import (
+    DataFrame,
+    HeadersFrame,
+    OriginFrame,
+    PingFrame,
+    SettingsFrame,
+)
+from repro.h2.http1 import parse_message
+from repro.h2.tls_channel import parse_records
+
+
+class TestFrameParserFuzz:
+    @given(st.binary(max_size=400))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            frames, rest = parse_frames(data)
+        except H2ConnectionError:
+            return  # the protocol's own error is acceptable
+        # Whatever parsed, the leftover must be a strict suffix.
+        assert data.endswith(rest)
+
+    @given(st.binary(max_size=200), st.integers(0, 60))
+    @settings(max_examples=200)
+    def test_truncated_valid_frames_buffer(self, payload, cut):
+        wire = DataFrame(stream_id=1, data=payload).serialize()
+        cut = min(cut, len(wire))
+        frames, rest = parse_frames(wire[:-cut] if cut else wire)
+        if cut == 0:
+            assert len(frames) == 1
+        else:
+            assert frames == []
+
+    @given(
+        st.lists(
+            st.sampled_from([
+                DataFrame(stream_id=1, data=b"x"),
+                HeadersFrame(stream_id=3, header_block=b"\x82"),
+                PingFrame(),
+                SettingsFrame(settings=((4, 65535),)),
+                OriginFrame(origins=("https://a.com",)),
+            ]),
+            max_size=8,
+        )
+    )
+    def test_concatenated_frames_all_parse(self, frames):
+        wire = b"".join(frame.serialize() for frame in frames)
+        parsed, rest = parse_frames(wire)
+        assert len(parsed) == len(frames)
+        assert rest == b""
+
+    @given(st.binary(min_size=9, max_size=100))
+    @settings(max_examples=200)
+    def test_mutated_headers_never_hang(self, data):
+        # Force a frame-sized length prefix so the parser commits.
+        body = data[9:]
+        header = bytes([0, 0, len(body)]) + data[3:9]
+        try:
+            parse_frames(header + body)
+        except H2ConnectionError:
+            pass
+
+
+class TestHpackDecoderFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_blocks_raise_hpack_error_or_decode(self, block):
+        decoder = HpackDecoder()
+        try:
+            headers = decoder.decode(block)
+        except HpackError:
+            return
+        for name, value in headers:
+            assert isinstance(name, str) and isinstance(value, str)
+
+
+class TestTlsRecordFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        records, rest = parse_records(data)
+        assert data.endswith(rest)
+        reassembled = b"".join(
+            bytes([t]) + len(p).to_bytes(4, "big") + p
+            for t, p in records
+        ) + rest
+        assert reassembled == data
+
+
+class TestHttp1ParserFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    def test_random_bytes_never_crash(self, data):
+        try:
+            message, rest = parse_message(data)
+        except (ValueError, IndexError):
+            # Malformed numerics in content-length / status lines are
+            # surfaced as ValueError by design.
+            return
+        if message is None:
+            assert rest == data
+
+
+class TestConnectionFuzz:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_client_survives_garbage_or_fails_cleanly(self, data):
+        client = H2Connection(Role.CLIENT)
+        client.initiate()
+        client.data_to_send()
+        try:
+            client.receive_data(data)
+        except H2ConnectionError:
+            # A GOAWAY must have been queued for the peer.
+            assert client.data_to_send()

@@ -1,0 +1,125 @@
+"""§6.7: the non-compliant middlebox that tears down on ORIGIN frames."""
+
+import numpy as np
+import pytest
+
+from repro.browser import BrowserContext, BrowserEngine, FirefoxPolicy
+from repro.dataset.world import build_world
+from repro.deployment import BuggyMiddlebox, DeploymentExperiment
+from repro.deployment.experiment import deployment_world_config
+from repro.h2 import H2ClientSession, TlsClientConfig
+
+
+@pytest.fixture(scope="module")
+def world_and_experiment():
+    world = build_world(deployment_world_config(site_count=120, seed=77))
+    experiment = DeploymentExperiment(world)
+    experiment.reissue_certificates()
+    return world, experiment
+
+
+def load_site(world, site, policy=None):
+    context = BrowserContext(
+        network=world.network,
+        client_host=world.client_host,
+        resolver=world.make_resolver(),
+        trust_store=world.trust_store,
+        authorities=world.authorities,
+        policy=policy or FirefoxPolicy(origin_frames=True),
+        asdb=world.asdb,
+    )
+    return BrowserEngine(context).load_blocking(site.hosted.record.page)
+
+
+class TestMiddleboxBug:
+    def test_origin_frame_kills_protected_clients(self,
+                                                  world_and_experiment):
+        world, experiment = world_and_experiment
+        experiment.enable_origin_frames()
+        middlebox = BuggyMiddlebox(
+            world.network,
+            protected_clients={world.client_host.name},
+        )
+        middlebox.install()
+        try:
+            site = experiment.sample[0]
+            archive = load_site(world, site)
+            # The TLS connection died when the ORIGIN frame crossed the
+            # middlebox; the page cannot load.
+            assert not archive.page.success
+            assert middlebox.stats.unknown_frames_seen > 0
+            assert middlebox.stats.connections_torn_down > 0
+        finally:
+            middlebox.uninstall()
+            experiment.disable_origin_frames()
+
+    def test_unprotected_clients_unaffected(self, world_and_experiment):
+        world, experiment = world_and_experiment
+        experiment.enable_origin_frames()
+        middlebox = BuggyMiddlebox(
+            world.network, protected_clients={"some-other-client"},
+        )
+        middlebox.install()
+        try:
+            archive = load_site(world, experiment.sample[0])
+            assert archive.page.success
+            assert middlebox.stats.connections_inspected == 0
+        finally:
+            middlebox.uninstall()
+            experiment.disable_origin_frames()
+
+    def test_no_origin_frames_no_breakage(self, world_and_experiment):
+        """Before the deployment, the buggy agent passed all traffic --
+        RFC 7540 frames are all in its known set."""
+        world, experiment = world_and_experiment
+        middlebox = BuggyMiddlebox(
+            world.network, protected_clients={world.client_host.name},
+        )
+        middlebox.install()
+        try:
+            archive = load_site(world, experiment.sample[0])
+            assert archive.page.success
+            assert middlebox.stats.frames_inspected > 0
+            assert middlebox.stats.connections_torn_down == 0
+        finally:
+            middlebox.uninstall()
+
+    def test_vendor_fix_restores_service(self, world_and_experiment):
+        """September 2022: unknown frames are ignored, pages load even
+        with ORIGIN live."""
+        world, experiment = world_and_experiment
+        experiment.enable_origin_frames()
+        middlebox = BuggyMiddlebox(
+            world.network,
+            protected_clients={world.client_host.name},
+        )
+        middlebox.fix()
+        middlebox.install()
+        try:
+            archive = load_site(world, experiment.sample[0])
+            assert archive.page.success
+            # The agent still *saw* the unknown frame, it just ignored
+            # it as the spec requires.
+            assert middlebox.stats.unknown_frames_seen > 0
+            assert middlebox.stats.connections_torn_down == 0
+        finally:
+            middlebox.uninstall()
+            experiment.disable_origin_frames()
+
+    def test_pausing_origin_restores_service_with_buggy_box(
+        self, world_and_experiment
+    ):
+        """The CDN's mitigation: pause ORIGIN until the vendor ships."""
+        world, experiment = world_and_experiment
+        experiment.enable_origin_frames()
+        experiment.disable_origin_frames()  # pause
+        middlebox = BuggyMiddlebox(
+            world.network,
+            protected_clients={world.client_host.name},
+        )
+        middlebox.install()
+        try:
+            archive = load_site(world, experiment.sample[0])
+            assert archive.page.success
+        finally:
+            middlebox.uninstall()

@@ -1,0 +1,130 @@
+"""Unit tests for the latency model and address helpers."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import AddressAllocator, LatencyModel, LinkSpec, is_valid_ipv4
+from repro.netsim.addresses import int_to_ipv4, ipv4_to_int
+from repro.netsim.latency import DEFAULT_RTT_MS
+
+
+class TestLinkSpec:
+    def test_valid_spec(self):
+        spec = LinkSpec(rtt_ms=20.0, jitter_ms=2.0)
+        assert spec.rtt_ms == 20.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rtt_ms": -1.0},
+            {"rtt_ms": 10.0, "jitter_ms": -0.1},
+            {"rtt_ms": 10.0, "bandwidth_bpms": 0.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkSpec(**kwargs)
+
+
+class TestLatencyModel:
+    def test_default_rtt_applies_to_unknown_pairs(self):
+        model = LatencyModel()
+        assert model.rtt("a", "b") == DEFAULT_RTT_MS
+
+    def test_explicit_link_overrides_default(self):
+        model = LatencyModel()
+        model.set_link("us", "eu", LinkSpec(rtt_ms=90.0))
+        assert model.rtt("us", "eu") == 90.0
+
+    def test_links_are_symmetric(self):
+        model = LatencyModel()
+        model.set_link("us", "eu", LinkSpec(rtt_ms=90.0))
+        assert model.rtt("eu", "us") == 90.0
+
+    def test_one_way_is_half_rtt(self):
+        model = LatencyModel()
+        model.set_link("a", "b", LinkSpec(rtt_ms=40.0))
+        assert model.one_way("a", "b") == 20.0
+
+    def test_jitter_requires_rng(self):
+        model = LatencyModel()
+        model.set_link("a", "b", LinkSpec(rtt_ms=40.0, jitter_ms=10.0))
+        # No RNG: deterministic base value.
+        assert model.rtt("a", "b") == 40.0
+
+    def test_jitter_with_rng_stays_in_bounds(self):
+        rng = np.random.default_rng(7)
+        model = LatencyModel(rng=rng)
+        model.set_link("a", "b", LinkSpec(rtt_ms=40.0, jitter_ms=10.0))
+        samples = [model.rtt("a", "b") for _ in range(200)]
+        assert all(30.0 <= s <= 50.0 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_serialization_delay_scales_with_bytes(self):
+        model = LatencyModel(default=LinkSpec(rtt_ms=0.0, bandwidth_bpms=100.0))
+        assert model.serialization_delay("a", "b", 1000) == 10.0
+
+    def test_serialization_rejects_negative_size(self):
+        model = LatencyModel()
+        with pytest.raises(ValueError):
+            model.serialization_delay("a", "b", -1)
+
+    def test_transfer_delay_combines_propagation_and_serialization(self):
+        model = LatencyModel(default=LinkSpec(rtt_ms=20.0, bandwidth_bpms=100.0))
+        assert model.transfer_delay("a", "b", 500) == 10.0 + 5.0
+
+
+class TestAddressHelpers:
+    @pytest.mark.parametrize(
+        "address", ["10.0.0.1", "255.255.255.255", "0.0.0.0", "192.168.1.7"]
+    )
+    def test_valid_ipv4(self, address):
+        assert is_valid_ipv4(address)
+
+    @pytest.mark.parametrize(
+        "address",
+        ["10.0.0", "10.0.0.256", "a.b.c.d", "10.00.0.1", "10.0.0.1.2", ""],
+    )
+    def test_invalid_ipv4(self, address):
+        assert not is_valid_ipv4(address)
+
+    def test_int_roundtrip(self):
+        for address in ["10.0.0.1", "172.16.5.9", "255.0.255.0"]:
+            assert int_to_ipv4(ipv4_to_int(address)) == address
+
+    def test_int_to_ipv4_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_ipv4(-1)
+        with pytest.raises(ValueError):
+            int_to_ipv4(2**32)
+
+    def test_ipv4_to_int_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            ipv4_to_int("not-an-ip")
+
+
+class TestAddressAllocator:
+    def test_allocates_requested_count(self):
+        alloc = AddressAllocator()
+        addresses = alloc.allocate(10)
+        assert len(addresses) == 10
+        assert all(is_valid_ipv4(a) for a in addresses)
+
+    def test_addresses_are_unique(self):
+        alloc = AddressAllocator()
+        addresses = alloc.allocate(600)  # spans multiple /24 blocks
+        assert len(set(addresses)) == 600
+
+    def test_allocation_is_deterministic(self):
+        assert AddressAllocator().allocate(5) == AddressAllocator().allocate(5)
+
+    def test_blocks_do_not_overlap(self):
+        alloc = AddressAllocator()
+        block_a = list(alloc.allocate_block())
+        block_b = list(alloc.allocate_block())
+        assert not set(block_a) & set(block_b)
+        assert len(block_a) == 254
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate(-1)

@@ -1,0 +1,75 @@
+"""In-flight DNS query coalescing (browsers dedupe concurrent lookups)."""
+
+import pytest
+
+from repro.dnssim import AuthoritativeServer, CachingResolver, Zone
+from repro.netsim import EventLoop
+
+
+@pytest.fixture
+def setup():
+    authority = AuthoritativeServer()
+    zone = Zone("example.com")
+    zone.add_a("www.example.com", ["10.0.0.1", "10.0.0.2"], ttl=1000.0)
+    authority.add_zone(zone)
+    loop = EventLoop()
+    resolver = CachingResolver(loop, authority, median_latency_ms=20.0)
+    return loop, resolver
+
+
+class TestInFlightDedup:
+    def test_concurrent_queries_share_one_wire_query(self, setup):
+        loop, resolver = setup
+        answers = []
+        resolver.resolve("www.example.com", answers.append)
+        resolver.resolve("www.example.com", answers.append)
+        resolver.resolve("www.example.com", answers.append)
+        loop.run_until_idle()
+        assert len(answers) == 3
+        # Only one query crossed the wire.
+        assert resolver.stats.plaintext_queries == 1
+        # The joiners are marked as served without their own query.
+        assert not answers[0].from_cache
+        assert answers[1].from_cache and answers[2].from_cache
+        assert answers[1].addresses == answers[0].addresses
+
+    def test_joiners_complete_at_the_same_time(self, setup):
+        loop, resolver = setup
+        times = []
+        resolver.resolve("www.example.com",
+                         lambda a: times.append(loop.now()))
+        resolver.resolve("www.example.com",
+                         lambda a: times.append(loop.now()))
+        loop.run_until_idle()
+        assert times[0] == times[1]
+
+    def test_queries_after_completion_hit_the_cache(self, setup):
+        loop, resolver = setup
+        resolver.resolve("www.example.com", lambda a: None)
+        loop.run_until_idle()
+        answers = []
+        resolver.resolve("www.example.com", answers.append)
+        loop.run_until_idle()
+        assert answers[0].from_cache
+        assert resolver.stats.plaintext_queries == 1
+
+    def test_distinct_names_are_not_coalesced(self, setup):
+        loop, resolver = setup
+        zone = resolver._authority.zone_for("example.com")
+        zone.add_a("other.example.com", ["10.0.0.9"])
+        resolver.resolve("www.example.com", lambda a: None)
+        resolver.resolve("other.example.com", lambda a: None)
+        loop.run_until_idle()
+        assert resolver.stats.plaintext_queries == 2
+
+    def test_nxdomain_propagates_to_joiners(self, setup):
+        loop, resolver = setup
+        outcomes = []
+        resolver.resolve("missing.example.com",
+                         lambda a: outcomes.append(("cb", a.empty)))
+        resolver.resolve("missing.example.com",
+                         lambda a: outcomes.append(("join", a.empty)))
+        loop.run_until_idle()
+        assert ("cb", True) in outcomes
+        assert ("join", True) in outcomes
+        assert resolver.stats.nxdomain == 1

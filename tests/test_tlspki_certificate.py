@@ -1,0 +1,145 @@
+"""Unit + property tests for certificates and hostname matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tlspki import (
+    Certificate,
+    CertificateError,
+    estimate_certificate_size,
+    hostname_matches,
+)
+from repro.tlspki.certificate import (
+    BASE_CERTIFICATE_BYTES,
+    SAN_ENTRY_OVERHEAD_BYTES,
+)
+
+
+def make_cert(**kwargs):
+    defaults = dict(
+        subject="www.example.com",
+        san=("www.example.com", "example.com"),
+        issuer="Test CA",
+        serial=1,
+        not_before=0.0,
+        not_after=1000.0,
+    )
+    defaults.update(kwargs)
+    return Certificate(**defaults)
+
+
+class TestHostnameMatching:
+    @pytest.mark.parametrize(
+        "pattern,hostname,expected",
+        [
+            ("www.example.com", "www.example.com", True),
+            ("www.example.com", "WWW.EXAMPLE.COM", True),
+            ("www.example.com", "example.com", False),
+            ("*.example.com", "foo.example.com", True),
+            ("*.example.com", "example.com", False),
+            ("*.example.com", "a.b.example.com", False),
+            ("*.cdnjs.cloudflare.com", "x.cdnjs.cloudflare.com", True),
+            ("f*o.example.com", "foo.example.com", False),  # partial wildcard
+            ("*.*.example.com", "a.b.example.com", False),  # double wildcard
+            ("", "example.com", False),
+            ("example.com", "", False),
+        ],
+    )
+    def test_matching_rules(self, pattern, hostname, expected):
+        assert hostname_matches(pattern, hostname) is expected
+
+    @given(st.from_regex(r"[a-z]{1,10}(\.[a-z]{1,10}){1,3}", fullmatch=True))
+    def test_exact_match_is_reflexive(self, name):
+        assert hostname_matches(name, name)
+
+    @given(st.from_regex(r"[a-z]{1,10}\.[a-z]{1,10}\.[a-z]{2,3}",
+                         fullmatch=True))
+    def test_wildcard_covers_any_single_left_label(self, name):
+        parent = name.split(".", 1)[1]
+        assert hostname_matches("*." + parent, name)
+
+
+class TestCertificate:
+    def test_san_is_normalized(self):
+        cert = make_cert(san=("WWW.Example.COM.",))
+        assert cert.san == ("www.example.com",)
+
+    def test_empty_validity_rejected(self):
+        with pytest.raises(CertificateError):
+            make_cert(not_before=10.0, not_after=10.0)
+
+    def test_empty_subject_rejected(self):
+        with pytest.raises(CertificateError):
+            make_cert(subject="")
+
+    def test_empty_san_entry_rejected(self):
+        with pytest.raises(CertificateError):
+            make_cert(san=("",))
+
+    def test_malformed_wildcard_rejected(self):
+        with pytest.raises(CertificateError):
+            make_cert(san=("foo.*.example.com",))
+
+    def test_covers_consults_san_only(self):
+        cert = make_cert(subject="cn-only.example.com", san=("other.example.com",))
+        assert not cert.covers("cn-only.example.com")
+        assert cert.covers("other.example.com")
+
+    def test_empty_san_falls_back_to_subject_cn(self):
+        cert = make_cert(san=())
+        assert cert.covers("www.example.com")  # subject CN, legacy match
+        assert not cert.covers("other.example.com")
+        assert cert.san_count == 0
+
+    def test_with_added_san_appends_and_dedupes(self):
+        cert = make_cert()
+        updated = cert.with_added_san("cdn.example.com", "www.example.com")
+        assert updated.san == (
+            "www.example.com", "example.com", "cdn.example.com",
+        )
+
+    def test_with_added_san_clears_signature(self):
+        cert = make_cert(signature=b"sig")
+        assert cert.with_added_san("new.example.com").signature == b""
+
+    def test_validity_window(self):
+        cert = make_cert(not_before=100.0, not_after=200.0)
+        assert not cert.valid_at(50.0)
+        assert cert.valid_at(100.0)
+        assert cert.valid_at(200.0)
+        assert not cert.valid_at(201.0)
+
+    def test_size_grows_with_san(self):
+        small = make_cert(san=("a.example.com",))
+        big = small.with_added_san(*[f"host{i}.example.com" for i in range(50)])
+        assert big.size_bytes > small.size_bytes
+
+    def test_size_formula(self):
+        names = ("www.example.com", "cdn.example.com")
+        expected = BASE_CERTIFICATE_BYTES + sum(
+            len(n) + SAN_ENTRY_OVERHEAD_BYTES for n in names
+        )
+        assert estimate_certificate_size(names) == expected
+        assert make_cert(san=names).size_bytes == expected
+
+    def test_fingerprint_changes_with_content(self):
+        a = make_cert()
+        b = make_cert(serial=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_tbs_bytes_deterministic(self):
+        assert make_cert().tbs_bytes() == make_cert().tbs_bytes()
+
+    @given(
+        st.lists(
+            st.from_regex(r"[a-z]{1,8}\.[a-z]{1,8}\.[a-z]{2,3}",
+                          fullmatch=True),
+            min_size=0,
+            max_size=20,
+            unique=True,
+        )
+    )
+    def test_covers_every_literal_san_entry(self, names):
+        cert = make_cert(san=tuple(names) or ("placeholder.example.com",))
+        for name in cert.san:
+            assert cert.covers(name)

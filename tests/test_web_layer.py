@@ -1,0 +1,256 @@
+"""Tests for content types, the AS database, pages, and HAR archives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.web import (
+    AsDatabase,
+    ContentType,
+    CONTENT_TYPE_SIZES,
+    FetchMode,
+    HarArchive,
+    HarEntry,
+    HarPage,
+    HarTimings,
+    Subresource,
+    WebPage,
+)
+
+
+class TestContentType:
+    def test_every_type_has_a_size(self):
+        for content_type in ContentType:
+            assert CONTENT_TYPE_SIZES[content_type] > 0
+
+    def test_script_classification(self):
+        assert ContentType.APPLICATION_JAVASCRIPT.is_script
+        assert ContentType.TEXT_JAVASCRIPT.is_script
+        assert not ContentType.IMAGE_PNG.is_script
+
+    def test_render_blocking(self):
+        assert ContentType.TEXT_CSS.is_render_blocking
+        assert ContentType.APPLICATION_JAVASCRIPT.is_render_blocking
+        assert not ContentType.IMAGE_JPEG.is_render_blocking
+
+    def test_discovery_capability(self):
+        assert ContentType.TEXT_HTML.can_discover_children
+        assert ContentType.TEXT_CSS.can_discover_children
+        assert not ContentType.FONT_WOFF2.can_discover_children
+
+
+class TestAsDatabase:
+    def test_register_and_lookup(self):
+        db = AsDatabase()
+        db.register("10.1.0.0/16", 13335, "Cloudflare")
+        assert db.asn_of("10.1.2.3") == 13335
+        assert db.org_of("10.1.2.3") == "Cloudflare"
+
+    def test_longest_prefix_wins(self):
+        db = AsDatabase()
+        db.register("10.0.0.0/8", 15169, "Google")
+        db.register("10.1.0.0/16", 13335, "Cloudflare")
+        db.register("10.1.2.0/24", 16509, "Amazon 02")
+        assert db.asn_of("10.9.9.9") == 15169
+        assert db.asn_of("10.1.9.9") == 13335
+        assert db.asn_of("10.1.2.9") == 16509
+
+    def test_unregistered_space_returns_none(self):
+        db = AsDatabase()
+        assert db.lookup("192.168.1.1") is None
+        assert db.asn_of("192.168.1.1") is None
+
+    def test_same_asn_multiple_blocks(self):
+        db = AsDatabase()
+        db.register("10.1.0.0/24", 13335, "Cloudflare")
+        db.register("10.2.0.0/24", 13335, "Cloudflare")
+        assert db.asn_of("10.1.0.5") == db.asn_of("10.2.0.5") == 13335
+        assert len(db) == 1
+
+    def test_conflicting_org_rejected(self):
+        db = AsDatabase()
+        db.register("10.1.0.0/24", 13335, "Cloudflare")
+        with pytest.raises(ValueError):
+            db.register("10.2.0.0/24", 13335, "NotCloudflare")
+
+    def test_bad_cidr_rejected(self):
+        db = AsDatabase()
+        with pytest.raises(ValueError):
+            db.register("10.1.0.0", 13335, "Cloudflare")
+        with pytest.raises(ValueError):
+            db.register("10.1.0.0/20", 13335, "Cloudflare")
+
+    def test_info_for_asn(self):
+        db = AsDatabase()
+        db.register("10.1.0.0/24", 13335, "Cloudflare")
+        assert db.info_for_asn(13335).org == "Cloudflare"
+        assert db.info_for_asn(99999) is None
+
+
+def make_page():
+    return WebPage(
+        hostname="www.example.com",
+        resources=[
+            Subresource("static.example.com", "/js/app.js",
+                        ContentType.APPLICATION_JAVASCRIPT, 20_000),
+            Subresource("static.example.com", "/css/style.css",
+                        ContentType.TEXT_CSS, 14_000),
+            Subresource("fonts.cdnhost.com", "/arial.woff",
+                        ContentType.FONT_WOFF2, 28_000,
+                        parent="/css/style.css"),
+            Subresource("tracker.com", "/t.js",
+                        ContentType.TEXT_JAVASCRIPT, 2_000,
+                        fetch_mode=FetchMode.SCRIPT_FETCH),
+        ],
+    )
+
+
+class TestWebPage:
+    def test_hostnames_root_first(self):
+        page = make_page()
+        assert page.hostnames()[0] == "www.example.com"
+        assert set(page.sharded_hostnames()) == {
+            "static.example.com", "fonts.cdnhost.com", "tracker.com",
+        }
+
+    def test_request_count(self):
+        assert make_page().request_count == 5
+
+    def test_children_of_root(self):
+        page = make_page()
+        root_children = {r.path for r in page.children_of(None)}
+        assert root_children == {"/js/app.js", "/css/style.css", "/t.js"}
+        assert page.children_of("/") == page.children_of(None)
+
+    def test_children_of_css(self):
+        page = make_page()
+        assert [r.path for r in page.children_of("/css/style.css")] == [
+            "/arial.woff"
+        ]
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError):
+            WebPage(
+                hostname="www.example.com",
+                resources=[
+                    Subresource("a.com", "/x.js",
+                                ContentType.TEXT_JAVASCRIPT, 100,
+                                parent="/missing.css"),
+                ],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            WebPage(
+                hostname="www.example.com",
+                resources=[
+                    Subresource("a.com", "/a.css", ContentType.TEXT_CSS,
+                                100, parent="/b.css"),
+                    Subresource("a.com", "/b.css", ContentType.TEXT_CSS,
+                                100, parent="/a.css"),
+                ],
+            )
+
+    def test_coalescing_eligibility_by_fetch_mode(self):
+        page = make_page()
+        modes = {r.path: r.coalescing_eligible for r in page.resources}
+        assert modes["/js/app.js"] is True
+        assert modes["/t.js"] is False
+
+    def test_bad_resource_values_rejected(self):
+        with pytest.raises(ValueError):
+            Subresource("a.com", "no-slash", ContentType.TEXT_CSS, 100)
+        with pytest.raises(ValueError):
+            Subresource("a.com", "/x", ContentType.TEXT_CSS, -1)
+        with pytest.raises(ValueError):
+            Subresource("a.com", "/x", ContentType.TEXT_CSS, 1,
+                        discovery_delay_ms=-1)
+
+
+class TestHarTimings:
+    def test_total_skips_not_applicable(self):
+        timings = HarTimings(blocked=5.0, dns=-1.0, connect=-1.0, ssl=-1.0,
+                             send=1.0, wait=10.0, receive=4.0)
+        assert timings.total() == 20.0
+
+    def test_connection_flags(self):
+        fresh = HarTimings(dns=12.0, connect=20.0, ssl=22.0)
+        reused = HarTimings()
+        assert fresh.used_dns and fresh.used_new_connection
+        assert not reused.used_dns and not reused.used_new_connection
+
+    def test_validate_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            HarTimings(blocked=-2.0).validate()
+        with pytest.raises(ValueError):
+            HarTimings(dns=-0.5).validate()
+
+    @given(
+        st.floats(min_value=0, max_value=1e4),
+        st.floats(min_value=0, max_value=1e4),
+    )
+    def test_total_is_monotone_in_phases(self, wait, receive):
+        base = HarTimings(wait=wait).total()
+        more = HarTimings(wait=wait, receive=receive).total()
+        assert more >= base
+
+
+class TestHarArchive:
+    def make_archive(self):
+        page = HarPage(url="https://www.example.com/",
+                       hostname="www.example.com", rank=42,
+                       on_content_load=800.0, on_load=1500.0)
+        entries = [
+            HarEntry(
+                url="https://www.example.com/",
+                hostname="www.example.com", path="/", started_at=0.0,
+                timings=HarTimings(dns=15.0, connect=20.0, ssl=20.0,
+                                   wait=30.0, receive=50.0),
+                server_ip="10.0.0.1", asn=13335, as_org="Cloudflare",
+                dns_addresses=["10.0.0.1"],
+                certificate_san=["www.example.com"],
+            ),
+            HarEntry(
+                url="https://static.example.com/app.js",
+                hostname="static.example.com", path="/app.js",
+                started_at=120.0,
+                timings=HarTimings(dns=12.0, connect=20.0, ssl=20.0,
+                                   wait=25.0, receive=30.0),
+                server_ip="10.0.0.2", asn=13335, as_org="Cloudflare",
+            ),
+            HarEntry(
+                url="https://www.example.com/logo.png",
+                hostname="www.example.com", path="/logo.png",
+                started_at=130.0,
+                timings=HarTimings(wait=20.0, receive=25.0),
+                server_ip="10.0.0.1", asn=13335, as_org="Cloudflare",
+                coalesced=True,
+            ),
+        ]
+        return HarArchive(page=page, entries=entries)
+
+    def test_counts(self):
+        archive = self.make_archive()
+        assert archive.request_count == 3
+        assert archive.dns_query_count() == 2
+        assert archive.tls_connection_count() == 2
+        assert archive.new_connection_count() == 2
+        assert archive.unique_asns() == [13335]
+        assert archive.page_load_time == 1500.0
+
+    def test_entry_finish_times(self):
+        archive = self.make_archive()
+        first = archive.entries[0]
+        assert first.finished_at == pytest.approx(135.0)
+        assert first.new_tls_connection
+
+    def test_json_roundtrip(self):
+        archive = self.make_archive()
+        restored = HarArchive.from_json(archive.to_json())
+        assert restored.page == archive.page
+        assert restored.entries == archive.entries
+
+    def test_entries_by_start_sorts(self):
+        archive = self.make_archive()
+        archive.entries.reverse()
+        ordered = archive.entries_by_start()
+        assert [e.started_at for e in ordered] == [0.0, 120.0, 130.0]
