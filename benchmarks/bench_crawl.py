@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Crawl throughput benchmark: sites/sec at jobs=1 vs jobs=N.
+
+Runs the sharded crawl pipeline serially and in parallel on the same
+configuration, verifies the two produce identical archives (the
+determinism guarantee the shard design makes), and writes the
+measurements to a JSON file so future changes have a perf trajectory
+to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_crawl.py \
+        --sites 400 --shards 4 --jobs 4 --output BENCH_crawl.json
+
+``scripts/bench.sh`` wraps this with a regression gate against the
+checked-in ``BENCH_crawl.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--policy", default="chromium")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel run")
+    parser.add_argument("--output", default="BENCH_crawl.json")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip the jobs=1 == jobs=N archive check")
+    return parser.parse_args(argv)
+
+
+def timed_crawl(config, params, shard_count, jobs):
+    from repro.dataset.shard import ParallelCrawler
+
+    crawler = ParallelCrawler(
+        config, params=params, shard_count=shard_count, jobs=jobs
+    )
+    started = time.perf_counter()
+    result = crawler.crawl()
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import CrawlParams
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(policy=args.policy, speculative_rate=0.10)
+
+    print(f"bench_crawl: {args.sites} sites, {args.shards} shards, "
+          f"policy={args.policy}, cpu_count={multiprocessing.cpu_count()}")
+
+    serial, serial_s = timed_crawl(config, params, args.shards, jobs=1)
+    serial_rate = args.sites / serial_s
+    print(f"  jobs=1: {serial_s:.2f}s  ({serial_rate:.2f} sites/sec)")
+
+    parallel, parallel_s = timed_crawl(
+        config, params, args.shards, jobs=args.jobs
+    )
+    parallel_rate = args.sites / parallel_s
+    print(f"  jobs={args.jobs}: {parallel_s:.2f}s  "
+          f"({parallel_rate:.2f} sites/sec)")
+
+    identical = None
+    if not args.skip_verify:
+        identical = serial.archives == parallel.archives
+        print(f"  archives identical across jobs: {identical}")
+        if not identical:
+            print("bench_crawl: FAIL -- parallel crawl diverged from "
+                  "serial", file=sys.stderr)
+            return 1
+
+    speedup = serial_s / parallel_s
+    print(f"  speedup: {speedup:.2f}x")
+
+    document = {
+        "sites": args.sites,
+        "seed": args.seed,
+        "policy": args.policy,
+        "shards": args.shards,
+        "jobs": args.jobs,
+        "cpu_count": multiprocessing.cpu_count(),
+        "python": platform.python_version(),
+        "archives_identical": identical,
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "sites_per_sec": round(serial_rate, 3),
+        },
+        "parallel": {
+            "seconds": round(parallel_s, 3),
+            "sites_per_sec": round(parallel_rate, 3),
+        },
+        "speedup": round(speedup, 3),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"  wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

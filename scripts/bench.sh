@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Crawl-throughput regression gate.
+#
+# Runs benchmarks/bench_crawl.py on a small world and fails if serial
+# sites/sec regressed more than 20% against the checked-in
+# BENCH_crawl.json baseline.  On multi-core machines (>= 2 CPUs) it
+# also requires the parallel run to beat the serial run.
+#
+# Usage: scripts/bench.sh [sites] [jobs]
+#   REPRO_BENCH_CRAWL_SITES / REPRO_BENCH_CRAWL_JOBS override defaults.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+SITES="${1:-${REPRO_BENCH_CRAWL_SITES:-120}}"
+JOBS="${2:-${REPRO_BENCH_CRAWL_JOBS:-4}}"
+BASELINE="BENCH_crawl.json"
+CURRENT="$(mktemp /tmp/bench_crawl.XXXXXX.json)"
+trap 'rm -f "$CURRENT"' EXIT
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_crawl.py \
+    --sites "$SITES" --jobs "$JOBS" --output "$CURRENT"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python - "$BASELINE" "$CURRENT" <<'EOF'
+import json
+import multiprocessing
+import sys
+
+baseline_path, current_path = sys.argv[1], sys.argv[2]
+try:
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+except FileNotFoundError:
+    print(f"bench.sh: no baseline at {baseline_path}; skipping the "
+          "regression gate (commit one with benchmarks/bench_crawl.py)")
+    sys.exit(0)
+
+with open(current_path) as handle:
+    current = json.load(handle)
+
+# Normalise to throughput so the gate works when the site counts of
+# the baseline and this run differ.
+base_rate = baseline["serial"]["sites_per_sec"]
+cur_rate = current["serial"]["sites_per_sec"]
+ratio = cur_rate / base_rate
+print(f"bench.sh: serial {cur_rate:.2f} sites/sec vs baseline "
+      f"{base_rate:.2f} ({ratio:.2f}x)")
+failed = False
+if ratio < 0.8:
+    print("bench.sh: FAIL -- serial crawl throughput regressed more "
+          "than 20% against the baseline")
+    failed = True
+
+if multiprocessing.cpu_count() >= 2:
+    if current["speedup"] < 1.0:
+        print(f"bench.sh: FAIL -- jobs={current['jobs']} slower than "
+              f"jobs=1 on a {multiprocessing.cpu_count()}-core machine "
+              f"(speedup {current['speedup']:.2f}x)")
+        failed = True
+    else:
+        print(f"bench.sh: parallel speedup {current['speedup']:.2f}x "
+              f"on {multiprocessing.cpu_count()} cores")
+else:
+    print("bench.sh: single-core machine; skipping the parallel "
+          "speedup gate")
+
+sys.exit(1 if failed else 0)
+EOF

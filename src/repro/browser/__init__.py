@@ -23,8 +23,14 @@ from repro.browser.policy import (
     FirefoxPolicy,
     IdealOriginPolicy,
     NoCoalescingPolicy,
+    POLICY_FACTORIES,
+    policy_by_name,
 )
-from repro.browser.pool import ConnectionPool, PoolStats
+from repro.browser.pool import (
+    ConnectionPool,
+    ConnectionRegistry,
+    PoolStats,
+)
 from repro.browser.cache import BrowserCache
 from repro.browser.engine import BrowserContext, BrowserEngine
 
@@ -35,7 +41,10 @@ __all__ = [
     "FirefoxPolicy",
     "IdealOriginPolicy",
     "NoCoalescingPolicy",
+    "POLICY_FACTORIES",
+    "policy_by_name",
     "ConnectionPool",
+    "ConnectionRegistry",
     "PoolStats",
     "BrowserCache",
     "BrowserContext",

@@ -10,7 +10,7 @@ certificate to cover the hostname -- without that, reuse would draw a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, Optional, Sequence
 
 
 @dataclass
@@ -23,6 +23,9 @@ class ConnectionFacts:
     #: All addresses in the DNS answer that produced this connection.
     available_set: FrozenSet[str] = frozenset()
     anonymous_partition: bool = False
+    #: Insertion order within the owning pool; assigned by the pool's
+    #: registry so indexed lookups preserve first-match semantics.
+    pool_seq: int = -1
 
     def certificate_covers(self, hostname: str) -> bool:
         return self.session.certificate_covers(hostname)
@@ -44,6 +47,13 @@ class CoalescingPolicy:
     #: DNS query for subresources, despite being defined as optional in
     #: the specification" (§2.3).
     requires_dns_before_reuse = True
+    #: Whether this policy can ever answer True to :meth:`can_reuse`;
+    #: pools skip the coalescing lookup entirely when False.
+    coalesces = True
+    #: Whether every reuse this policy grants implies an address overlap
+    #: between the connection and the candidate's DNS answer.  When True
+    #: the pool may restrict the search to its IP index.
+    requires_ip_overlap = False
 
     def can_reuse(
         self,
@@ -58,6 +68,7 @@ class NoCoalescingPolicy(CoalescingPolicy):
     """Never coalesce across hostnames (HTTP/1.1-era behaviour)."""
 
     name = "none"
+    coalesces = False
 
     def can_reuse(self, facts, hostname, dns_addresses):
         return False
@@ -73,6 +84,7 @@ class ChromiumPolicy(CoalescingPolicy):
     """
 
     name = "chromium"
+    requires_ip_overlap = True
 
     def can_reuse(self, facts, hostname, dns_addresses):
         if not facts.can_multiplex:
@@ -98,6 +110,9 @@ class FirefoxPolicy(CoalescingPolicy):
 
     def __init__(self, origin_frames: bool = True) -> None:
         self.origin_frames = origin_frames
+        # Without ORIGIN frames every grant needs an address overlap, so
+        # the pool's IP index covers the whole candidate set.
+        self.requires_ip_overlap = not origin_frames
         if origin_frames:
             self.name = "firefox+origin"
 
@@ -133,3 +148,26 @@ class IdealOriginPolicy(CoalescingPolicy):
         if facts.origin_set_covers(hostname):
             return True
         return bool(facts.available_set.intersection(dns_addresses))
+
+
+#: Canonical name -> factory registry.  The CLI, the parallel crawl
+#: workers, and the crawl cache all key on these names, so a policy
+#: object never has to cross a process boundary.
+POLICY_FACTORIES: Dict[str, Callable[[], CoalescingPolicy]] = {
+    "chromium": ChromiumPolicy,
+    "firefox": lambda: FirefoxPolicy(origin_frames=False),
+    "firefox+origin": lambda: FirefoxPolicy(origin_frames=True),
+    "ideal-origin": IdealOriginPolicy,
+    "none": NoCoalescingPolicy,
+}
+
+
+def policy_by_name(name: str) -> CoalescingPolicy:
+    """Instantiate a registered policy by its canonical name."""
+    try:
+        factory = POLICY_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory()

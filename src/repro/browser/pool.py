@@ -14,12 +14,28 @@ Requests with ``crossorigin=anonymous`` / ``fetch()`` semantics live in
 a separate credential-less partition and never reuse (or donate)
 connections across the partition boundary, which is the §5.3
 observation that capped coalescing in the deployment.
+
+Lookups are indexed: the pool keeps a hostname->connections map (for
+same-host reuse) and an IP->connections map (consulted when the active
+policy only grants reuse on address overlap), so neither hot path
+scans every open connection.  :class:`PoolStats` counts how each
+lookup was answered, and dead (closed/failed) sessions are pruned from
+the registry and both indexes as soon as a lookup or accounting path
+touches them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.h2.client import H2ClientSession
@@ -38,6 +54,108 @@ class PoolStats:
     same_host_reuses: int = 0
     coalesced_reuses: int = 0
     connection_failures: int = 0
+    #: Lookup accounting: every find_same_host / find_coalescable call,
+    #: how it was served, and how many candidates the policy actually
+    #: examined -- the evidence that indexing did not change behaviour,
+    #: only the amount of work.
+    same_host_lookups: int = 0
+    coalesce_lookups: int = 0
+    indexed_lookups: int = 0
+    full_scans: int = 0
+    candidates_examined: int = 0
+    #: Dead (closed/failed) entries removed from the registry.
+    pruned_connections: int = 0
+
+
+class ConnectionRegistry(List[ConnectionFacts]):
+    """The pool's connection list plus its two lookup indexes.
+
+    Behaves as a plain list of :class:`ConnectionFacts` (iteration and
+    ``append`` keep working for callers and tests), while maintaining a
+    hostname index keyed by SNI and an address index keyed by every IP
+    in each connection's connected/available set.
+    """
+
+    def __init__(self, items: Iterable[ConnectionFacts] = ()) -> None:
+        super().__init__()
+        self.by_sni: Dict[str, List[ConnectionFacts]] = {}
+        self.by_ip: Dict[str, List[ConnectionFacts]] = {}
+        self._next_seq = 0
+        for facts in items:
+            self.append(facts)
+
+    # -- mutation (keeps indexes in sync) ---------------------------------
+
+    def append(self, facts: ConnectionFacts) -> None:
+        facts.pool_seq = self._next_seq
+        self._next_seq += 1
+        super().append(facts)
+        self.by_sni.setdefault(facts.sni, []).append(facts)
+        for ip in self._addresses_of(facts):
+            self.by_ip.setdefault(ip, []).append(facts)
+
+    def discard(self, facts: ConnectionFacts) -> bool:
+        """Remove one entry (by identity) from the list and indexes."""
+        for index, candidate in enumerate(self):
+            if candidate is facts:
+                del self[index]
+                break
+        else:
+            return False
+        self._unindex(facts)
+        return True
+
+    def clear(self) -> None:
+        super().clear()
+        self.by_sni.clear()
+        self.by_ip.clear()
+
+    def _unindex(self, facts: ConnectionFacts) -> None:
+        bucket = self.by_sni.get(facts.sni, [])
+        self._remove_identity(bucket, facts)
+        if not bucket:
+            self.by_sni.pop(facts.sni, None)
+        for ip in self._addresses_of(facts):
+            bucket = self.by_ip.get(ip, [])
+            self._remove_identity(bucket, facts)
+            if not bucket:
+                self.by_ip.pop(ip, None)
+
+    @staticmethod
+    def _remove_identity(bucket: List[ConnectionFacts],
+                         facts: ConnectionFacts) -> None:
+        for index, candidate in enumerate(bucket):
+            if candidate is facts:
+                del bucket[index]
+                return
+
+    @staticmethod
+    def _addresses_of(facts: ConnectionFacts) -> frozenset:
+        addresses = set(facts.available_set)
+        if facts.connected_ip:
+            addresses.add(facts.connected_ip)
+        return frozenset(addresses)
+
+    # -- lookup -----------------------------------------------------------
+
+    def for_host(self, hostname: str) -> List[ConnectionFacts]:
+        """Connections with this SNI, in pool insertion order."""
+        return self.by_sni.get(hostname, [])
+
+    def candidates_for_ips(
+        self, addresses: Sequence[str]
+    ) -> List[ConnectionFacts]:
+        """Connections whose address set touches ``addresses``,
+        deduplicated and in pool insertion order."""
+        seen = set()
+        candidates: List[ConnectionFacts] = []
+        for address in addresses:
+            for facts in self.by_ip.get(address, ()):
+                if id(facts) not in seen:
+                    seen.add(id(facts))
+                    candidates.append(facts)
+        candidates.sort(key=lambda facts: facts.pool_seq)
+        return candidates
 
 
 class ConnectionPool:
@@ -58,7 +176,7 @@ class ConnectionPool:
         self.tls_config_factory = tls_config_factory
         self.origin_aware = origin_aware
         self.port = port
-        self.connections: List[ConnectionFacts] = []
+        self.connections = ConnectionRegistry()
         self.stats = PoolStats()
 
     # -- lookup -------------------------------------------------------------
@@ -66,6 +184,11 @@ class ConnectionPool:
     def _usable(self, facts: ConnectionFacts) -> bool:
         session = facts.session
         return not session.closed and session.failed is None
+
+    def _prune(self, dead: Sequence[ConnectionFacts]) -> None:
+        for facts in dead:
+            if self.connections.discard(facts):
+                self.stats.pruned_connections += 1
 
     def find_same_host(
         self, hostname: str, anonymous: bool = False
@@ -75,26 +198,36 @@ class ConnectionPool:
         HTTP/1.1 sessions are only returned when idle; busy ones force
         the caller to open another connection (browser-style).
         """
+        self.stats.same_host_lookups += 1
+        self.stats.indexed_lookups += 1
+        found: Optional[ConnectionFacts] = None
         idle_h1: Optional[ConnectionFacts] = None
+        at_cap: Optional[ConnectionFacts] = None
         h1_count = 0
-        for facts in self.connections:
-            if facts.sni != hostname or not self._usable(facts):
+        dead: List[ConnectionFacts] = []
+        for facts in self.connections.for_host(hostname):
+            if not self._usable(facts):
+                dead.append(facts)
                 continue
             if facts.anonymous_partition != anonymous:
                 continue
+            self.stats.candidates_examined += 1
             if facts.can_multiplex:
-                return facts
+                found = facts
+                break
+            if at_cap is None:
+                at_cap = facts
             h1_count += 1
             if not facts.session.h1_busy and idle_h1 is None:
                 idle_h1 = facts
+        self._prune(dead)
+        if found is not None:
+            return found
         if idle_h1 is not None:
             return idle_h1
         if h1_count >= MAX_H1_CONNECTIONS_PER_HOST:
             # At the cap: reuse the first (requests will queue on it).
-            for facts in self.connections:
-                if facts.sni == hostname and self._usable(facts) \
-                        and facts.anonymous_partition == anonymous:
-                    return facts
+            return at_cap
         return None
 
     def find_coalescable(
@@ -106,11 +239,61 @@ class ConnectionPool:
         """An existing connection the policy lets this hostname reuse."""
         if anonymous:
             return None  # credential-less fetches do not coalesce (§5.3)
-        for facts in self.connections:
-            if not self._usable(facts) or facts.anonymous_partition:
+        self.stats.coalesce_lookups += 1
+        policy = self.policy
+        if not getattr(policy, "coalesces", True):
+            return None
+        if getattr(policy, "requires_ip_overlap", False):
+            # Every grant implies an address overlap, so only
+            # connections sharing an address with the DNS answer can
+            # possibly match.
+            if not dns_addresses:
+                return None
+            self.stats.indexed_lookups += 1
+            candidates: Iterable[ConnectionFacts] = (
+                self.connections.candidates_for_ips(dns_addresses)
+            )
+        else:
+            # ORIGIN-frame policies may reuse without any IP overlap;
+            # their authority (the origin set) lives in the session, so
+            # the full registry is the candidate set.
+            self.stats.full_scans += 1
+            candidates = list(self.connections)
+        found: Optional[ConnectionFacts] = None
+        dead: List[ConnectionFacts] = []
+        for facts in candidates:
+            if not self._usable(facts):
+                dead.append(facts)
+                continue
+            if facts.anonymous_partition:
                 continue
             if facts.sni == hostname:
                 continue  # that would be same-host reuse
+            self.stats.candidates_examined += 1
+            if policy.can_reuse(facts, hostname, dns_addresses):
+                found = facts
+                break
+        self._prune(dead)
+        return found
+
+    def _scan_coalescable(
+        self,
+        hostname: str,
+        dns_addresses: Sequence[str],
+        anonymous: bool = False,
+    ) -> Optional[ConnectionFacts]:
+        """Reference implementation: the pre-index full scan.
+
+        Kept (and exercised by the tests) as the behavioural oracle for
+        :meth:`find_coalescable`; it must pick the same connection.
+        """
+        if anonymous:
+            return None
+        for facts in list(self.connections):
+            if not self._usable(facts) or facts.anonymous_partition:
+                continue
+            if facts.sni == hostname:
+                continue
             if self.policy.can_reuse(facts, hostname, dns_addresses):
                 return facts
         return None
@@ -155,6 +338,9 @@ class ConnectionPool:
 
         def failed(reason: str) -> None:
             self.stats.connection_failures += 1
+            # A failed session can never serve a request again; drop it
+            # from the registry and indexes immediately.
+            self._prune([facts])
             on_failed(reason)
 
         session.connect(on_ready=ready, on_failed=failed)
@@ -167,9 +353,16 @@ class ConnectionPool:
         self.stats.coalesced_reuses += 1
 
     def close_all(self) -> None:
-        for facts in self.connections:
+        closed = len(self.connections)
+        for facts in list(self.connections):
             facts.session.close()
+        self.connections.clear()
+        self.stats.pruned_connections += closed
 
     @property
     def open_count(self) -> int:
-        return sum(1 for facts in self.connections if self._usable(facts))
+        self._prune([
+            facts for facts in self.connections
+            if not self._usable(facts)
+        ])
+        return len(self.connections)

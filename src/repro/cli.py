@@ -2,10 +2,16 @@
 
 Commands:
 
-* ``crawl``   -- generate + crawl a synthetic web, print Tables 1-3
+* ``crawl``   -- generate + crawl a synthetic web, print Tables 1-7
 * ``model``   -- run the §4 model (Figure 3, headline, cert plan)
 * ``deploy``  -- run the §5 deployment (Figures 6/7b, passive pipeline)
 * ``privacy`` -- the §6.2 privacy exposure comparison
+
+``crawl``, ``model``, and ``privacy`` share one crawl pipeline: the
+dataset is partitioned into deterministic shards (``--shards``),
+crawled by ``--jobs`` worker processes, and the merged archives are
+persisted in a content-addressed cache so repeated invocations with
+the same configuration skip the crawl entirely (``cache: hit``).
 """
 
 from __future__ import annotations
@@ -17,40 +23,49 @@ from typing import List, Optional
 import numpy as np
 
 from repro.analysis import format_pct, render_cdf, render_table
-from repro.browser import (
-    ChromiumPolicy,
-    FirefoxPolicy,
-    IdealOriginPolicy,
-    NoCoalescingPolicy,
-)
+from repro.browser.policy import POLICY_FACTORIES
 
-POLICIES = {
-    "chromium": ChromiumPolicy,
-    "firefox": lambda: FirefoxPolicy(origin_frames=False),
-    "firefox+origin": lambda: FirefoxPolicy(origin_frames=True),
-    "ideal-origin": IdealOriginPolicy,
-    "none": NoCoalescingPolicy,
-}
+#: Kept as the CLI-facing name->factory registry (the canonical copy
+#: lives in :mod:`repro.browser.policy` so crawl workers can share it).
+POLICIES = POLICY_FACTORIES
 
 
-def _crawl(sites: int, seed: int, policy_name: str):
-    from repro.dataset.crawler import Crawler
+def _crawl_cached(args, policy_name: str):
+    """The shared crawl pipeline: shards + jobs + cache.
+
+    Returns ``(config, shard_count, result)`` and prints the cache
+    status line every crawl-backed command shows.
+    """
+    from repro.dataset.cache import CrawlCache, cache_key, crawl_cached
     from repro.dataset.generator import DatasetConfig
-    from repro.dataset.world import build_world
+    from repro.dataset.shard import CrawlParams, plan_shards
 
-    world = build_world(DatasetConfig(site_count=sites, seed=seed))
-    crawler = Crawler(world, policy=POLICIES[policy_name](),
-                      speculative_rate=0.10)
-    return world, crawler.crawl()
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(policy=policy_name, speculative_rate=0.10)
+    shard_count = len(plan_shards(config, args.shards or None))
+    cache = None if args.no_cache else CrawlCache(args.cache_dir)
+    result, hit = crawl_cached(
+        config,
+        params=params,
+        shard_count=shard_count,
+        jobs=args.jobs,
+        cache=cache,
+        refresh=args.refresh,
+    )
+    if cache is None:
+        print("cache: disabled")
+    else:
+        key = cache_key(config, params, shard_count)
+        status = "hit" if hit else "miss, stored"
+        print(f"cache: {status} {cache.path_for(key)}")
+    return config, shard_count, result
 
 
-def cmd_crawl(args) -> int:
+# -- crawl tables -------------------------------------------------------------
+
+def _print_table1(result) -> None:
     from repro.dataset import characterize
 
-    world, result = _crawl(args.sites, args.seed, args.policy)
-    ok = result.successes
-    print(f"crawled {result.attempted} sites with the {args.policy} "
-          f"policy; {result.success_count} succeeded\n")
     rows = characterize.table1(result.archives)
     print(render_table(
         "Table 1 -- crawl summary",
@@ -60,16 +75,25 @@ def cmd_crawl(args) -> int:
           f"{r.median_requests:.0f}", f"{r.median_plt_ms:.0f}",
           f"{r.median_dns:.0f}", f"{r.median_tls:.0f}") for r in rows],
     ))
-    print()
+
+
+def _print_table2(result) -> None:
+    from repro.dataset import characterize
+
     print(render_table(
         "Table 2 -- top destination ASes",
         ["ASN", "Org", "#Req", "%"],
         [(asn, org, count, format_pct(share))
-         for asn, org, count, share in characterize.table2(ok)],
+         for asn, org, count, share in
+         characterize.table2(result.successes)],
     ))
-    protocols, security = characterize.table3(ok)
+
+
+def _print_table3(result) -> None:
+    from repro.dataset import characterize
+
+    protocols, _ = characterize.table3(result.successes)
     total = sum(protocols.values())
-    print()
     print(render_table(
         "Table 3 -- protocols",
         ["Protocol", "#Req", "%"],
@@ -77,13 +101,111 @@ def cmd_crawl(args) -> int:
          for name, count in sorted(protocols.items(),
                                    key=lambda kv: -kv[1])],
     ))
+
+
+def _print_table4(result) -> None:
+    from repro.dataset import characterize
+
+    rows, validations, total = characterize.table4(result.successes)
+    print(render_table(
+        f"Table 4 -- certificate issuers ({validations} validations "
+        f"over {total} requests)",
+        ["Issuer", "#Validations", "%"],
+        [(issuer, count, format_pct(share))
+         for issuer, count, share in rows],
+    ))
+
+
+def _print_table5(result) -> None:
+    from repro.dataset import characterize
+
+    print(render_table(
+        "Table 5 -- content types",
+        ["Content type", "#Req", "%"],
+        [(content_type, count, format_pct(share))
+         for content_type, count, share in
+         characterize.table5(result.successes)],
+    ))
+
+
+def _print_table6(result) -> None:
+    from repro.dataset import characterize
+
+    rows = []
+    for (asn, org), breakdown in \
+            characterize.table6(result.successes).items():
+        for content_type, count, share in breakdown:
+            rows.append((asn, org, content_type, count,
+                         format_pct(share)))
+    print(render_table(
+        "Table 6 -- content types per top AS",
+        ["ASN", "Org", "Content type", "#Req", "%"],
+        rows,
+    ))
+
+
+def _print_table7(result) -> None:
+    from repro.dataset import characterize
+
+    print(render_table(
+        "Table 7 -- top third-party hostnames",
+        ["Hostname", "#Req", "%"],
+        [(hostname, count, format_pct(share))
+         for hostname, count, share in
+         characterize.table7(result.successes)],
+    ))
+
+
+#: ``--tables`` tokens, in render order.
+TABLE_RENDERERS = {
+    "1": _print_table1,
+    "2": _print_table2,
+    "3": _print_table3,
+    "4": _print_table4,
+    "5": _print_table5,
+    "6": _print_table6,
+    "7": _print_table7,
+}
+
+DEFAULT_TABLES = "1,2,3"
+
+
+def _parse_tables(spec: str) -> List[str]:
+    if spec.strip().lower() == "all":
+        return list(TABLE_RENDERERS)
+    tokens = [token.strip() for token in spec.split(",") if token.strip()]
+    unknown = [token for token in tokens if token not in TABLE_RENDERERS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown table(s) {','.join(unknown)}; choose from "
+            f"{','.join(TABLE_RENDERERS)} or 'all'"
+        )
+    # Render in canonical order, deduplicated.
+    return [token for token in TABLE_RENDERERS if token in tokens]
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def cmd_crawl(args) -> int:
+    _, _, result = _crawl_cached(args, args.policy)
+    print(f"crawled {result.attempted} sites with the {args.policy} "
+          f"policy; {result.success_count} succeeded")
+    for token in args.tables:
+        print()
+        TABLE_RENDERERS[token](result)
     return 0
 
 
 def cmd_model(args) -> int:
-    from repro.core import figure3, headline_reductions, plan_certificates
+    from repro.core import figure3, headline_reductions
+    from repro.dataset.shard import plan_certificates_sharded
 
-    world, result = _crawl(args.sites, args.seed, "chromium")
+    config, shard_count, result = _crawl_cached(args, "chromium")
     data = figure3(result.archives)
     print(render_cdf(
         "Figure 3 -- per-page DNS/TLS counts",
@@ -97,7 +219,7 @@ def cmd_model(args) -> int:
           f"{format_pct(headline['validation_reduction'])}, "
           f"DNS reduction {format_pct(headline['dns_reduction'])} "
           "(paper: 68.75% / 64.28%)")
-    plan = plan_certificates(world)
+    plan = plan_certificates_sharded(config, shard_count)
     print(f"certificates needing no change: "
           f"{format_pct(plan.unchanged_fraction)} (paper: 62.41%); "
           f"<=10 additions covers "
@@ -153,7 +275,7 @@ def cmd_deploy(args) -> int:
 def cmd_privacy(args) -> int:
     from repro.core import compare_privacy
 
-    _, result = _crawl(args.sites, args.seed, "chromium")
+    _, _, result = _crawl_cached(args, "chromium")
     comparison = compare_privacy(result.successes)
     medians = comparison.median_signals()
     print(render_table(
@@ -181,14 +303,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic sites to generate (default 150)")
         p.add_argument("--seed", type=int, default=2022)
 
+    def crawl_pipeline(p):
+        p.add_argument("--jobs", type=_positive_int, default=1,
+                       help="crawl worker processes (default 1; does "
+                            "not change results)")
+        p.add_argument("--shards", type=int, default=0,
+                       help="shard layout (default 0 = one shard per "
+                            "~100 sites; part of the experiment "
+                            "definition)")
+        p.add_argument("--cache-dir", default=None,
+                       help="crawl cache directory (default "
+                            "$REPRO_CRAWL_CACHE or "
+                            "~/.cache/repro/crawls)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="neither read nor write the crawl cache")
+        p.add_argument("--refresh", action="store_true",
+                       help="ignore any cached crawl, re-crawl, and "
+                            "overwrite the entry")
+
     crawl = sub.add_parser("crawl", help="crawl and characterize")
     common(crawl)
+    crawl_pipeline(crawl)
     crawl.add_argument("--policy", choices=sorted(POLICIES),
                        default="chromium")
+    crawl.add_argument("--tables", type=_parse_tables,
+                       default=DEFAULT_TABLES,
+                       help="comma-separated table numbers to render "
+                            f"(1-{len(TABLE_RENDERERS)} or 'all'; "
+                            f"default {DEFAULT_TABLES})")
     crawl.set_defaults(func=cmd_crawl)
 
     model = sub.add_parser("model", help="run the §4 model")
     common(model)
+    crawl_pipeline(model)
     model.set_defaults(func=cmd_model)
 
     deploy = sub.add_parser("deploy", help="run the §5 deployment")
@@ -199,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     privacy = sub.add_parser("privacy", help="§6.2 exposure analysis")
     common(privacy)
+    crawl_pipeline(privacy)
     privacy.set_defaults(func=cmd_privacy)
     return parser
 

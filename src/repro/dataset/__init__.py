@@ -22,6 +22,15 @@ from repro.dataset.tranco import TrancoList
 from repro.dataset.generator import DatasetConfig, SiteRecord, PageGenerator
 from repro.dataset.world import SyntheticWorld, build_world
 from repro.dataset.crawler import Crawler, CrawlResult
+from repro.dataset.shard import (
+    CrawlParams,
+    ParallelCrawler,
+    ShardSpec,
+    default_shard_count,
+    derive_seed,
+    plan_shards,
+)
+from repro.dataset.cache import CrawlCache, cache_key, crawl_cached
 from repro.dataset import characterize
 
 __all__ = [
@@ -39,5 +48,14 @@ __all__ = [
     "build_world",
     "Crawler",
     "CrawlResult",
+    "CrawlParams",
+    "ParallelCrawler",
+    "ShardSpec",
+    "default_shard_count",
+    "derive_seed",
+    "plan_shards",
+    "CrawlCache",
+    "cache_key",
+    "crawl_cached",
     "characterize",
 ]

@@ -1,0 +1,144 @@
+"""A content-addressed, reusable crawl cache.
+
+Every crawl is a pure function of ``(DatasetConfig, policy name,
+crawler params, shard layout)`` -- the simulation is deterministic --
+so its merged HAR archives can be persisted once and reused by every
+command that needs the same world.  The cache key is a SHA-256 digest
+over the canonical JSON of those inputs; the payload is the JSONL
+format of :meth:`~repro.dataset.crawler.CrawlResult.save`, which is
+exactly the paper pipeline's bucket of per-page HAR files (§3.1)
+collapsed into one file per crawl.
+
+The cache directory defaults to ``$REPRO_CRAWL_CACHE`` when set, else
+``~/.cache/repro/crawls`` (honouring ``$XDG_CACHE_HOME``).  Entries
+are immutable: invalidation is deleting the file (or the directory),
+or changing any keyed input, which addresses a different entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.dataset.crawler import CrawlResult
+from repro.dataset.generator import DatasetConfig
+from repro.dataset.shard import CrawlParams
+
+#: Bump when the archive format or crawl semantics change, so stale
+#: entries from older code can never be mistaken for current ones.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment override for the cache root.
+CACHE_ENV_VAR = "REPRO_CRAWL_CACHE"
+
+
+def default_cache_dir() -> Path:
+    override = os.environ.get(CACHE_ENV_VAR)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "crawls"
+
+
+def cache_key(
+    config: DatasetConfig,
+    params: CrawlParams,
+    shard_count: int,
+) -> str:
+    """Content address for one crawl definition."""
+    document = {
+        "version": CACHE_FORMAT_VERSION,
+        "config": dataclasses.asdict(config),
+        "params": dataclasses.asdict(params),
+        "shard_count": int(shard_count),
+    }
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+class CrawlCache:
+    """Filesystem store of crawl results, addressed by crawl inputs."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"crawl-{key}.jsonl"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def load(self, key: str) -> Optional[CrawlResult]:
+        """The cached result for ``key``, or ``None`` on a miss (or an
+        unreadable/corrupt entry, which is dropped)."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        try:
+            return CrawlResult.load(path)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.invalidate(key)
+            return None
+
+    def store(self, key: str, result: CrawlResult) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the
+        entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        result.save(tmp)
+        os.replace(tmp, path)
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Delete one entry; True if it existed."""
+        path = self.path_for(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("crawl-*.jsonl"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def crawl_cached(
+    config: DatasetConfig,
+    params: Optional[CrawlParams] = None,
+    shard_count: Optional[int] = None,
+    jobs: int = 1,
+    cache: Optional[CrawlCache] = None,
+    refresh: bool = False,
+    progress=None,
+) -> Tuple[CrawlResult, bool]:
+    """Load the crawl from cache or run it (and store it).
+
+    Returns ``(result, hit)`` where ``hit`` says whether the crawl was
+    served from the cache.  ``cache=None`` disables caching entirely.
+    """
+    from repro.dataset.shard import ParallelCrawler
+
+    crawler = ParallelCrawler(
+        config, params=params, shard_count=shard_count, jobs=jobs
+    )
+    key = cache_key(config, crawler.params, crawler.shard_count)
+    if cache is not None and not refresh:
+        result = cache.load(key)
+        if result is not None:
+            return result, True
+    result = crawler.crawl(progress=progress)
+    if cache is not None:
+        cache.store(key, result)
+    return result, False

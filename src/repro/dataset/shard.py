@@ -1,0 +1,244 @@
+"""Sharded, parallel crawling.
+
+The paper fanned its crawl of 315,796 sites out over 100 WebPageTest
+VMs (§3.1); this module is the synthetic equivalent.  A
+:class:`~repro.dataset.generator.DatasetConfig` is deterministically
+partitioned into contiguous rank shards (:func:`plan_shards`); each
+shard materializes *only its slice* of the synthetic web into its own
+:class:`~repro.dataset.world.SyntheticWorld`, seeded from a seed
+derived from ``(config.seed, shard layout)``, and is crawled
+independently.  Merging the per-shard results in shard order therefore
+yields archives that do not depend on how many worker processes ran
+the shards -- ``jobs=4`` is archive-for-archive identical to
+``jobs=1`` -- while the shard *layout* (``shard_count``) is part of
+the experiment definition, like the paper's VM fan-out.
+
+Site *plans* (ranks, pages, certificate contents) always come from one
+full :class:`~repro.dataset.generator.PageGenerator` pass at the
+original seed, so a site's identity is unaffected by sharding; only
+world-materialization randomness (provider IP picks, server think
+times) and crawl randomness are drawn from the derived per-shard
+streams.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.browser.policy import policy_by_name
+from repro.dataset.crawler import Crawler, CrawlResult
+from repro.dataset.generator import DatasetConfig, PageGenerator, SiteRecord
+from repro.dataset.world import SyntheticWorld, build_world
+from repro.web.har import HarArchive
+
+#: Sites per shard when the caller does not pick a layout.
+DEFAULT_SHARD_SIZE = 100
+
+#: Seed-derivation domains, so the world stream and the crawler stream
+#: of the same shard never collide.
+_WORLD_DOMAIN = 0
+_CRAWLER_DOMAIN = 1
+
+
+def derive_seed(
+    base_seed: int, domain: int, shard_index: int, shard_count: int
+) -> int:
+    """A stable per-shard seed from the base seed and shard layout.
+
+    Uses :class:`numpy.random.SeedSequence` spawn keys, whose mixing is
+    documented as reproducible across platforms and numpy versions.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=int(base_seed),
+        spawn_key=(int(domain), int(shard_count), int(shard_index)),
+    )
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of a dataset configuration."""
+
+    config: DatasetConfig
+    index: int
+    shard_count: int
+    #: 0-based half-open site slice [lo, hi) into the ranked site list.
+    lo: int
+    hi: int
+
+    @property
+    def site_count(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def world_seed(self) -> int:
+        return derive_seed(
+            self.config.seed, _WORLD_DOMAIN, self.index, self.shard_count
+        )
+
+    def crawler_seed(self, base_seed: int) -> int:
+        return derive_seed(
+            base_seed, _CRAWLER_DOMAIN, self.index, self.shard_count
+        )
+
+    def records(self) -> List[SiteRecord]:
+        """This shard's site plans, from one full-generation pass.
+
+        Generation is pure data and cheap relative to materialization
+        and crawling, so every worker regenerates the complete list at
+        the original seed and slices it -- which keeps each site's
+        plan byte-identical no matter the shard layout.
+        """
+        return PageGenerator(self.config).generate_all()[self.lo:self.hi]
+
+    def build_world(self) -> SyntheticWorld:
+        """Materialize only this shard's slice, on the derived seed."""
+        world_config = replace(self.config, seed=self.world_seed)
+        return build_world(world_config, records=self.records())
+
+
+def default_shard_count(site_count: int) -> int:
+    """Shard layout when the caller does not pick one: ~100-site
+    shards, at least one."""
+    return max(1, -(-site_count // DEFAULT_SHARD_SIZE))
+
+
+def plan_shards(
+    config: DatasetConfig, shard_count: Optional[int] = None
+) -> List[ShardSpec]:
+    """Partition ``config`` into contiguous, near-equal rank shards.
+
+    The partition is deterministic: shard ``i`` of ``n`` always covers
+    the same ranks for a given ``site_count``, independent of worker
+    count or scheduling.
+    """
+    total = config.site_count
+    count = shard_count if shard_count else default_shard_count(total)
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    count = min(count, total)
+    base, extra = divmod(total, count)
+    shards: List[ShardSpec] = []
+    lo = 0
+    for index in range(count):
+        hi = lo + base + (1 if index < extra else 0)
+        shards.append(ShardSpec(
+            config=config, index=index, shard_count=count, lo=lo, hi=hi
+        ))
+        lo = hi
+    return shards
+
+
+@dataclass(frozen=True)
+class CrawlParams:
+    """Crawler knobs that shape results (and key the crawl cache)."""
+
+    policy: str = "chromium"
+    speculative_rate: float = 0.12
+    dns_latency_ms: float = 48.0
+    seed: int = 7
+
+
+def crawl_shard(spec: ShardSpec, params: CrawlParams) -> CrawlResult:
+    """Build one shard's world and crawl it (runs inside workers)."""
+    world = spec.build_world()
+    crawler = Crawler(
+        world,
+        policy=policy_by_name(params.policy),
+        speculative_rate=params.speculative_rate,
+        dns_latency_ms=params.dns_latency_ms,
+        seed=spec.crawler_seed(params.seed),
+    )
+    return crawler.crawl()
+
+
+def _crawl_shard_json(payload: Tuple[ShardSpec, CrawlParams]) -> List[str]:
+    """Picklable worker entry point: archives as JSON lines."""
+    spec, params = payload
+    return [
+        archive.to_json()
+        for archive in crawl_shard(spec, params).archives
+    ]
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ParallelCrawler:
+    """Crawls a dataset shard-by-shard, optionally across processes.
+
+    ``jobs=1`` runs every shard in-process (no serialization); higher
+    job counts fan shards out over a :mod:`multiprocessing` pool and
+    re-inflate the returned HAR JSON.  Both paths merge shard results
+    in shard order, so the output is identical either way.
+    """
+
+    def __init__(
+        self,
+        config: DatasetConfig,
+        params: Optional[CrawlParams] = None,
+        shard_count: Optional[int] = None,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.config = config
+        self.params = params or CrawlParams()
+        self.shards = plan_shards(config, shard_count)
+        self.jobs = jobs
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def crawl(
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> CrawlResult:
+        """Crawl all shards; ``progress`` gets (done_shards, total)."""
+        total = len(self.shards)
+        merged = CrawlResult()
+        if self.jobs == 1 or total == 1:
+            for done, spec in enumerate(self.shards, start=1):
+                merged.archives.extend(
+                    crawl_shard(spec, self.params).archives
+                )
+                if progress is not None:
+                    progress(done, total)
+            return merged
+        payloads = [(spec, self.params) for spec in self.shards]
+        workers = min(self.jobs, total)
+        with _mp_context().Pool(processes=workers) as pool:
+            # imap preserves shard order while letting shards finish
+            # out of order in the workers.
+            for done, lines in enumerate(
+                pool.imap(_crawl_shard_json, payloads), start=1
+            ):
+                merged.archives.extend(
+                    HarArchive.from_json(line) for line in lines
+                )
+                if progress is not None:
+                    progress(done, total)
+        return merged
+
+
+def plan_certificates_sharded(
+    config: DatasetConfig, shard_count: Optional[int] = None
+):
+    """The §4.3 certificate plan over per-shard worlds, merged in
+    shard order -- world materialization without any crawling, for
+    cache-hit paths that still need certificate state."""
+    from repro.core.certplan import CertificatePlan, plan_certificates
+
+    plans = []
+    for spec in plan_shards(config, shard_count):
+        plans.extend(plan_certificates(spec.build_world()).plans)
+    return CertificatePlan(plans=plans)

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.browser.policy import ConnectionFacts, FirefoxPolicy
+from repro.browser.policy import (
+    ChromiumPolicy,
+    ConnectionFacts,
+    FirefoxPolicy,
+    IdealOriginPolicy,
+    NoCoalescingPolicy,
+)
 from repro.browser.pool import ConnectionPool, MAX_H1_CONNECTIONS_PER_HOST
 
 
@@ -15,6 +21,9 @@ class FakeSession:
         self._san = set(san)
         self._origins = set(origins)
 
+    def close(self):
+        self.closed = True
+
     def certificate_covers(self, hostname):
         return hostname in self._san
 
@@ -22,10 +31,10 @@ class FakeSession:
         return hostname in self._origins
 
 
-def make_pool():
+def make_pool(policy=None):
     return ConnectionPool(
         network=None, client_host=None,
-        policy=FirefoxPolicy(origin_frames=True),
+        policy=policy or FirefoxPolicy(origin_frames=True),
         tls_config_factory=lambda sni: None,
     )
 
@@ -121,3 +130,139 @@ class TestFindCoalescable:
         found = pool.find_coalescable("shard.a.com",
                                       ["10.0.0.2", "10.0.0.3"])
         assert found is facts
+
+
+class TestIndexes:
+    """The sni/IP indexes answer lookups without full scans and stay
+    consistent under append and prune."""
+
+    def test_registry_indexes_track_appends(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com",
+                    available=("10.0.0.1", "10.0.0.2"))
+        registry = pool.connections
+        assert registry.for_host("www.a.com") == [facts]
+        assert registry.by_ip["10.0.0.1"] == [facts]
+        assert registry.by_ip["10.0.0.2"] == [facts]
+        assert facts.pool_seq == 0
+
+    def test_same_host_lookup_is_indexed(self):
+        pool = make_pool()
+        for index in range(50):
+            add(pool, f"host{index:02d}.example")
+        target = add(pool, "www.a.com")
+        found = pool.find_same_host("www.a.com")
+        assert found is target
+        # The lookup examined only the target's bucket, not the pool.
+        assert pool.stats.candidates_examined == 1
+        assert pool.stats.indexed_lookups == 1
+
+    def test_ip_policy_coalesce_lookup_is_indexed(self):
+        pool = make_pool(policy=ChromiumPolicy())
+        for index in range(40):
+            add(pool, f"host{index:02d}.example",
+                available=(f"10.1.{index}.1",))
+        target = add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
+                     available=("10.9.9.9",))
+        found = pool.find_coalescable("cdn.a.com", ["10.9.9.9"])
+        assert found is target
+        assert pool.stats.indexed_lookups == 1
+        assert pool.stats.full_scans == 0
+        assert pool.stats.candidates_examined == 1
+
+    def test_origin_policy_falls_back_to_full_scan(self):
+        pool = make_pool(policy=FirefoxPolicy(origin_frames=True))
+        add(pool, "www.b.com")
+        target = add(pool, "www.a.com",
+                     san=("www.a.com", "cdn.a.com"),
+                     origins=("cdn.a.com",))
+        # ORIGIN-frame reuse needs no IP overlap, so the IP index
+        # cannot bound the candidate set.
+        found = pool.find_coalescable("cdn.a.com", ["10.200.0.1"])
+        assert found is target
+        assert pool.stats.full_scans == 1
+
+    def test_no_coalescing_policy_skips_lookup_entirely(self):
+        pool = make_pool(policy=NoCoalescingPolicy())
+        add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"))
+        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+        assert pool.stats.candidates_examined == 0
+
+    @pytest.mark.parametrize("policy_factory", [
+        ChromiumPolicy,
+        lambda: FirefoxPolicy(origin_frames=False),
+        lambda: FirefoxPolicy(origin_frames=True),
+        IdealOriginPolicy,
+        NoCoalescingPolicy,
+    ])
+    def test_indexed_lookup_matches_reference_scan(self, policy_factory):
+        """The indexed path picks exactly what the pre-index full scan
+        picked, for every policy and a mixed pool."""
+        pool = make_pool(policy=policy_factory())
+        add(pool, "www.a.com", san=("www.a.com",),
+            available=("10.0.0.1",))
+        add(pool, "www.b.com", san=("www.b.com", "cdn.x.com"),
+            available=("10.0.0.2", "10.0.0.3"))
+        add(pool, "www.c.com", san=("www.c.com", "cdn.x.com"),
+            origins=("cdn.x.com",), available=("10.0.0.4",))
+        add(pool, "www.d.com", san=("www.d.com", "cdn.x.com"),
+            available=("10.0.0.3",), anonymous=True)
+        dead = add(pool, "www.e.com", san=("www.e.com", "cdn.x.com"),
+                   available=("10.0.0.3",))
+        dead.session.closed = True
+        for candidate_ips in (["10.0.0.3"], ["10.0.0.2", "10.0.0.4"],
+                              ["10.99.0.1"], []):
+            expected = pool._scan_coalescable("cdn.x.com", candidate_ips)
+            assert pool.find_coalescable("cdn.x.com", candidate_ips) \
+                is expected
+
+
+class TestPruning:
+    """Dead sessions leave the registry and the indexes."""
+
+    def test_lookup_prunes_closed_connections(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com")
+        facts.session.closed = True
+        assert pool.find_same_host("www.a.com") is None
+        assert len(pool.connections) == 0
+        assert pool.connections.for_host("www.a.com") == []
+        assert pool.stats.pruned_connections == 1
+
+    def test_coalesce_lookup_prunes_failed_connections(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
+                    origins=("cdn.a.com",))
+        facts.session.failed = "handshake failure"
+        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+        assert len(pool.connections) == 0
+        assert "10.0.0.1" not in pool.connections.by_ip
+
+    def test_open_count_prunes_dead_entries(self):
+        pool = make_pool()
+        alive = add(pool, "www.a.com")
+        dead = add(pool, "www.b.com")
+        dead.session.closed = True
+        assert pool.open_count == 1
+        assert list(pool.connections) == [alive]
+        assert pool.stats.pruned_connections == 1
+
+    def test_close_all_empties_registry_and_indexes(self):
+        pool = make_pool()
+        add(pool, "www.a.com")
+        add(pool, "www.b.com", available=("10.0.0.7",))
+        pool.close_all()
+        assert len(pool.connections) == 0
+        assert pool.connections.by_sni == {}
+        assert pool.connections.by_ip == {}
+        assert pool.open_count == 0
+        assert pool.stats.pruned_connections == 2
+
+    def test_pruned_connection_not_found_again(self):
+        pool = make_pool()
+        first = add(pool, "www.a.com")
+        second = add(pool, "www.a.com")
+        first.session.closed = True
+        assert pool.find_same_host("www.a.com") is second
+        # Only the live connection remains in the bucket.
+        assert pool.connections.for_host("www.a.com") == [second]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import POLICIES, build_parser, main
+from repro.cli import POLICIES, _parse_tables, build_parser, main
 
 
 class TestParser:
@@ -14,6 +14,11 @@ class TestParser:
         args = build_parser().parse_args(["crawl"])
         assert args.sites == 150
         assert args.policy == "chromium"
+        assert args.jobs == 1
+        assert args.shards == 0
+        assert args.tables == ["1", "2", "3"]
+        assert args.no_cache is False
+        assert args.refresh is False
 
     def test_policy_choices_cover_registry(self):
         for name in POLICIES:
@@ -24,24 +29,102 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["crawl", "--policy", "safari"])
 
+    def test_bad_tables_rejected_before_crawling(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--tables", "1,9"])
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--jobs", "0"])
+
     def test_deploy_phases(self):
         args = build_parser().parse_args(["deploy", "--phase", "ip"])
         assert args.phase == "ip"
 
+    def test_crawl_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["model", "--jobs", "4", "--shards", "8",
+             "--cache-dir", "/tmp/x", "--refresh"]
+        )
+        assert args.jobs == 4
+        assert args.shards == 8
+        assert args.cache_dir == "/tmp/x"
+        assert args.refresh is True
+
+
+class TestParseTables:
+    def test_default_selection(self):
+        assert _parse_tables("1,2,3") == ["1", "2", "3"]
+
+    def test_all(self):
+        assert _parse_tables("all") == ["1", "2", "3", "4", "5", "6", "7"]
+
+    def test_subset_rendered_in_canonical_order(self):
+        assert _parse_tables("7, 1,4") == ["1", "4", "7"]
+
+    def test_unknown_table_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_tables("1,9")
+
 
 class TestCommands:
-    def test_crawl_command(self, capsys):
-        assert main(["crawl", "--sites", "25", "--seed", "3"]) == 0
+    def test_crawl_command(self, capsys, tmp_path):
+        assert main(["crawl", "--sites", "25", "--seed", "3",
+                     "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
+        assert "cache: miss" in out
         assert "Table 1" in out
         assert "Table 2" in out
         assert "Table 3" in out
 
-    def test_model_command(self, capsys):
-        assert main(["model", "--sites", "25", "--seed", "3"]) == 0
+    def test_crawl_tables_subset(self, capsys, tmp_path):
+        assert main(["crawl", "--sites", "25", "--seed", "3",
+                     "--cache-dir", str(tmp_path),
+                     "--tables", "1,7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 7" in out
+        assert "Table 2" not in out
+        assert "Table 3" not in out
+
+    def test_crawl_cache_hit_second_invocation(self, capsys, tmp_path):
+        argv = ["crawl", "--sites", "25", "--seed", "3",
+                "--cache-dir", str(tmp_path), "--tables", "1"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache: miss, stored" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache: hit" in second
+        # Identical characterization either way.
+        assert second.split("cache:")[0] == first.split("cache:")[0]
+
+    def test_crawl_jobs_match_serial(self, capsys, tmp_path):
+        base = ["crawl", "--sites", "8", "--seed", "3", "--shards", "2",
+                "--no-cache", "--tables", "1"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_model_command(self, capsys, tmp_path):
+        assert main(["model", "--sites", "25", "--seed", "3",
+                     "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out
         assert "headline" in out
+        assert "certificates needing no change" in out
+
+    def test_model_uses_crawl_cache(self, capsys, tmp_path):
+        argv = ["model", "--sites", "25", "--seed", "3",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "cache: hit" in capsys.readouterr().out
 
     def test_deploy_command(self, capsys):
         assert main(["deploy", "--sites", "80", "--seed", "3"]) == 0
@@ -49,8 +132,9 @@ class TestCommands:
         assert "Figure 7" in out
         assert "passive reduction" in out
 
-    def test_privacy_command(self, capsys):
-        assert main(["privacy", "--sites", "25", "--seed", "3"]) == 0
+    def test_privacy_command(self, capsys, tmp_path):
+        assert main(["privacy", "--sites", "25", "--seed", "3",
+                     "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "Privacy" in out
         assert "signal reduction" in out

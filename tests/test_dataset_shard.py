@@ -1,0 +1,148 @@
+"""Sharded parallel crawling: partitioning, seeds, and determinism.
+
+The load-bearing guarantee: a crawl's archives depend on the shard
+*layout* (part of the experiment definition) but never on the number
+of worker processes -- ``jobs=4`` must equal ``jobs=1``
+archive-for-archive.
+"""
+
+import pytest
+
+from repro.dataset.generator import DatasetConfig, PageGenerator
+from repro.dataset.shard import (
+    CrawlParams,
+    ParallelCrawler,
+    ShardSpec,
+    crawl_shard,
+    default_shard_count,
+    derive_seed,
+    plan_shards,
+)
+
+
+class TestPlanShards:
+    def test_partition_covers_all_sites_contiguously(self):
+        config = DatasetConfig(site_count=103)
+        shards = plan_shards(config, 4)
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert shards[0].lo == 0
+        assert shards[-1].hi == 103
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+        # Near-equal: sizes differ by at most one.
+        sizes = [s.site_count for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_count_clamped_to_site_count(self):
+        shards = plan_shards(DatasetConfig(site_count=3), 8)
+        assert len(shards) == 3
+        assert all(s.site_count == 1 for s in shards)
+
+    def test_default_layout_is_about_100_sites_per_shard(self):
+        assert default_shard_count(1) == 1
+        assert default_shard_count(100) == 1
+        assert default_shard_count(101) == 2
+        assert default_shard_count(400) == 4
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards(DatasetConfig(site_count=10), -1)
+
+    def test_records_are_the_sliced_full_generation(self):
+        config = DatasetConfig(site_count=20, seed=9)
+        full = PageGenerator(config).generate_all()
+        shards = plan_shards(config, 3)
+        sliced = [r for s in shards for r in s.records()]
+        assert [r.entry.domain for r in sliced] == \
+            [r.entry.domain for r in full]
+        assert [r.cert_san for r in sliced] == [r.cert_san for r in full]
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2022, 0, 1, 4) == derive_seed(2022, 0, 1, 4)
+
+    def test_varies_with_every_input(self):
+        base = derive_seed(2022, 0, 1, 4)
+        assert derive_seed(2023, 0, 1, 4) != base
+        assert derive_seed(2022, 1, 1, 4) != base
+        assert derive_seed(2022, 0, 2, 4) != base
+        assert derive_seed(2022, 0, 1, 5) != base
+
+    def test_world_and_crawler_domains_disjoint(self):
+        config = DatasetConfig(site_count=8, seed=2022)
+        spec = plan_shards(config, 2)[0]
+        assert spec.world_seed != spec.crawler_seed(config.seed)
+
+
+class TestParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return DatasetConfig(site_count=12, seed=41)
+
+    @pytest.fixture(scope="class")
+    def params(self):
+        return CrawlParams(policy="chromium", speculative_rate=0.10)
+
+    @pytest.fixture(scope="class")
+    def serial(self, config, params):
+        return ParallelCrawler(
+            config, params, shard_count=4, jobs=1
+        ).crawl()
+
+    @pytest.fixture(scope="class")
+    def parallel(self, config, params):
+        return ParallelCrawler(
+            config, params, shard_count=4, jobs=4
+        ).crawl()
+
+    def test_jobs_do_not_change_results(self, serial, parallel):
+        """jobs=4 equals jobs=1 archive-for-archive."""
+        assert serial.attempted == parallel.attempted
+        assert serial.archives == parallel.archives
+
+    def test_page_order_follows_rank(self, config, serial):
+        hostnames = [a.page.hostname for a in serial.archives]
+        expected = [
+            f"www.{entry.domain}" for entry in config.tranco()
+        ]
+        assert hostnames == expected
+
+    def test_per_page_stats_match(self, serial, parallel):
+        for a, b in zip(serial.archives, parallel.archives):
+            assert a.page.on_load == b.page.on_load
+            assert a.dns_query_count() == b.dns_query_count()
+            assert a.tls_connection_count() == b.tls_connection_count()
+            assert [e.url for e in a.entries] == \
+                [e.url for e in b.entries]
+
+    def test_shard_crawl_is_reproducible(self, config, params):
+        spec = plan_shards(config, 4)[1]
+        first = crawl_shard(spec, params)
+        second = crawl_shard(spec, params)
+        assert first.archives == second.archives
+
+    def test_progress_reports_each_shard(self, config, params):
+        seen = []
+        ParallelCrawler(config, params, shard_count=3, jobs=1).crawl(
+            progress=lambda done, total: seen.append((done, total))
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestShardSpec:
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = plan_shards(DatasetConfig(site_count=10), 2)[1]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_world_contains_only_the_slice(self):
+        config = DatasetConfig(site_count=10, seed=13)
+        spec = plan_shards(config, 2)[1]
+        world = spec.build_world()
+        domains = [h.record.entry.domain for h in world.sites]
+        expected = [r.entry.domain for r in spec.records()]
+        assert domains == expected
+        assert len(domains) == 5
