@@ -36,6 +36,8 @@ def parse_args(argv=None):
     parser.add_argument("--output", default="BENCH_crawl.json")
     parser.add_argument("--skip-verify", action="store_true",
                         help="skip the jobs=1 == jobs=N archive check")
+    parser.add_argument("--skip-traced", action="store_true",
+                        help="skip the telemetry-overhead measurement")
     return parser.parse_args(argv)
 
 
@@ -49,6 +51,18 @@ def timed_crawl(config, params, shard_count, jobs):
     result = crawler.crawl()
     elapsed = time.perf_counter() - started
     return result, elapsed
+
+
+def timed_crawl_traced(config, params, shard_count, jobs):
+    from repro.dataset.shard import ParallelCrawler
+
+    crawler = ParallelCrawler(
+        config, params=params, shard_count=shard_count, jobs=jobs
+    )
+    started = time.perf_counter()
+    result, trace = crawler.crawl_traced()
+    elapsed = time.perf_counter() - started
+    return result, trace, elapsed
 
 
 def main(argv=None) -> int:
@@ -86,6 +100,31 @@ def main(argv=None) -> int:
     speedup = serial_s / parallel_s
     print(f"  speedup: {speedup:.2f}x")
 
+    traced_doc = None
+    if not args.skip_traced:
+        traced, trace, traced_s = timed_crawl_traced(
+            config, params, args.shards, jobs=1
+        )
+        traced_rate = args.sites / traced_s
+        overhead = traced_s / serial_s
+        print(f"  jobs=1 traced: {traced_s:.2f}s  "
+              f"({traced_rate:.2f} sites/sec, {len(trace.spans)} spans, "
+              f"{overhead:.2f}x untraced)")
+        if not args.skip_verify:
+            traced_identical = traced.archives == serial.archives
+            print(f"  traced archives identical to untraced: "
+                  f"{traced_identical}")
+            if not traced_identical:
+                print("bench_crawl: FAIL -- tracing changed the "
+                      "simulation's archives", file=sys.stderr)
+                return 1
+        traced_doc = {
+            "seconds": round(traced_s, 3),
+            "sites_per_sec": round(traced_rate, 3),
+            "spans": len(trace.spans),
+            "overhead_vs_serial": round(overhead, 3),
+        }
+
     document = {
         "sites": args.sites,
         "seed": args.seed,
@@ -104,6 +143,7 @@ def main(argv=None) -> int:
             "sites_per_sec": round(parallel_rate, 3),
         },
         "speedup": round(speedup, 3),
+        "traced": traced_doc,
     }
     output = Path(args.output)
     output.write_text(json.dumps(document, indent=2) + "\n",

@@ -6,6 +6,11 @@
 # BENCH_crawl.json baseline.  On multi-core machines (>= 2 CPUs) it
 # also requires the parallel run to beat the serial run.
 #
+# The hard gate stays on the UNTRACED serial run -- tracing is opt-in,
+# so the baseline comparison measures the tracing-disabled path.  The
+# telemetry overhead (traced vs untraced serial throughput) is reported
+# for trend-watching but does not fail the gate.
+#
 # Usage: scripts/bench.sh [sites] [jobs]
 #   REPRO_BENCH_CRAWL_SITES / REPRO_BENCH_CRAWL_JOBS override defaults.
 
@@ -41,17 +46,26 @@ with open(current_path) as handle:
     current = json.load(handle)
 
 # Normalise to throughput so the gate works when the site counts of
-# the baseline and this run differ.
+# the baseline and this run differ.  The gate compares the untraced
+# serial run: tracing is opt-in, so this is the path the 20% bound
+# protects.
 base_rate = baseline["serial"]["sites_per_sec"]
 cur_rate = current["serial"]["sites_per_sec"]
 ratio = cur_rate / base_rate
-print(f"bench.sh: serial {cur_rate:.2f} sites/sec vs baseline "
-      f"{base_rate:.2f} ({ratio:.2f}x)")
+print(f"bench.sh: serial (untraced) {cur_rate:.2f} sites/sec vs "
+      f"baseline {base_rate:.2f} ({ratio:.2f}x)")
 failed = False
 if ratio < 0.8:
     print("bench.sh: FAIL -- serial crawl throughput regressed more "
           "than 20% against the baseline")
     failed = True
+
+traced = current.get("traced")
+if traced:
+    print(f"bench.sh: tracing overhead "
+          f"{traced['overhead_vs_serial']:.2f}x untraced serial "
+          f"({traced['sites_per_sec']:.2f} sites/sec, "
+          f"{traced['spans']} spans; informational, not gated)")
 
 if multiprocessing.cpu_count() >= 2:
     if current["speedup"] < 1.0:

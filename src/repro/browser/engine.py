@@ -23,6 +23,7 @@ from repro.dnssim.resolver import CachingResolver
 from repro.h2.client import H2Response
 from repro.h2.tls_channel import TlsClientConfig
 from repro.netsim.network import Host, Network
+from repro.telemetry import NULL_TRACER, Telemetry
 from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.validation import TrustStore
 from repro.web.asdb import AsDatabase
@@ -62,8 +63,18 @@ class BrowserContext:
     #: TLS session-ticket cache shared across this profile's
     #: connections; ``None`` disables resumption attempts.
     tls_session_cache: Optional[Dict] = None
+    #: Crawl-level telemetry (tracer + metrics); ``None`` disables
+    #: tracing with literal zero overhead on the fetch paths.
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def tracer(self):
+        if self.telemetry is not None:
+            return self.telemetry.tracer
+        return NULL_TRACER
 
     def tls_config(self, sni: str) -> TlsClientConfig:
+        tracer = self.tracer
         return TlsClientConfig(
             sni=sni,
             trust_store=self.trust_store,
@@ -71,6 +82,7 @@ class BrowserContext:
             now=self.network.loop.now,
             tls13=self.tls13,
             session_cache=self.tls_session_cache,
+            tracer=tracer if tracer.enabled else None,
         )
 
 
@@ -95,6 +107,7 @@ class _FetchState:
         self.coalesced = False
         self.retried_after_421 = False
         self.facts: Optional[ConnectionFacts] = None
+        self.span = None
 
 
 class PageLoad:
@@ -119,6 +132,7 @@ class PageLoad:
                 self.context.policy, "origin_frames", True
             ) or not self.context.policy.requires_dns_before_reuse,
             port=self.context.port,
+            tracer=self.context.tracer,
         )
         self.entries: List[HarEntry] = []
         self.outstanding = 0
@@ -141,6 +155,7 @@ class PageLoad:
             path=self.page.root_path,
             started_at=self.loop.now(),
         )
+        self._begin_fetch_span(state, root=True)
         self._resolve_then_connect(state, anonymous=False)
 
     # -- fetch pipeline ------------------------------------------------------
@@ -153,6 +168,7 @@ class PageLoad:
             path=resource.path,
             started_at=self.loop.now(),
         )
+        self._begin_fetch_span(state, root=False)
         anonymous = resource.fetch_mode is not FetchMode.NORMAL
 
         if not resource.secure:
@@ -342,6 +358,30 @@ class PageLoad:
         facts.session.request(state.hostname, state.path, on_response,
                               extra_headers=referer)
 
+    # -- tracing ------------------------------------------------------------
+
+    def _begin_fetch_span(self, state: _FetchState, root: bool) -> None:
+        tracer = self.context.tracer
+        if tracer.enabled:
+            state.span = tracer.begin(
+                "fetch", category="browser", page=self.page.url,
+                hostname=state.hostname, path=state.path, root=root,
+            )
+
+    def _end_fetch_span(self, state: _FetchState, status: int,
+                        via: str) -> None:
+        if state.span is not None:
+            self.context.tracer.end(state.span, status=status, via=via)
+
+    @staticmethod
+    def _via(state: _FetchState) -> str:
+        """How the entry was served, for the fetch span."""
+        if state.coalesced:
+            return "coalesced"
+        if state.timings.ssl >= 0 or state.timings.connect >= 0:
+            return "new"
+        return "same-host"
+
     # -- recording ------------------------------------------------------------
 
     def _content_type(self, state: _FetchState) -> str:
@@ -432,6 +472,7 @@ class PageLoad:
             self.engine.cache.store(
                 entry.url, len(response.body), self.loop.now()
             )
+        self._end_fetch_span(state, response.status, self._via(state))
         self._discover_children(state, response.status)
         self._done_one()
 
@@ -439,6 +480,7 @@ class PageLoad:
         entry = self._make_entry(state, 200, 0)
         entry.protocol = "cache"
         self.entries.append(entry)
+        self._end_fetch_span(state, 200, "cache")
         self._discover_children(state, 200)
         self._done_one()
 
@@ -447,6 +489,9 @@ class PageLoad:
         self.entries.append(entry)
         if state.resource is None:
             self.root_status = 0
+        if state.span is not None:
+            self.context.tracer.end(state.span, status=0, via="failed",
+                                    error=reason)
         self._done_one()
 
     def _discover_children(self, state: _FetchState, status: int) -> None:

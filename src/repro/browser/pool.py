@@ -26,7 +26,6 @@ touches them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -41,30 +40,39 @@ from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.h2.client import H2ClientSession
 from repro.h2.tls_channel import TlsClientConfig
 from repro.netsim.network import Host, Network
+from repro.telemetry import NULL_TRACER, RegistryStats
 
 #: Browsers cap parallel HTTP/1.1 connections per host; 6 is the
 #: long-standing Chromium/Firefox default.
 MAX_H1_CONNECTIONS_PER_HOST = 6
 
 
-@dataclass
-class PoolStats:
-    connections_opened: int = 0
-    tls_handshakes: int = 0
-    same_host_reuses: int = 0
-    coalesced_reuses: int = 0
-    connection_failures: int = 0
-    #: Lookup accounting: every find_same_host / find_coalescable call,
-    #: how it was served, and how many candidates the policy actually
-    #: examined -- the evidence that indexing did not change behaviour,
-    #: only the amount of work.
-    same_host_lookups: int = 0
-    coalesce_lookups: int = 0
-    indexed_lookups: int = 0
-    full_scans: int = 0
-    candidates_examined: int = 0
-    #: Dead (closed/failed) entries removed from the registry.
-    pruned_connections: int = 0
+class PoolStats(RegistryStats):
+    """Connection-pool counters, backed by the unified metrics
+    registry.
+
+    ``same_host_lookups`` .. ``candidates_examined`` are the lookup
+    accounting: every find_same_host / find_coalescable call, how it
+    was served, and how many candidates the policy actually examined
+    -- the evidence that indexing did not change behaviour, only the
+    amount of work.  ``pruned_connections`` counts dead
+    (closed/failed) entries removed from the registry.
+    """
+
+    _prefix = "pool."
+    _counters = (
+        "connections_opened",
+        "tls_handshakes",
+        "same_host_reuses",
+        "coalesced_reuses",
+        "connection_failures",
+        "same_host_lookups",
+        "coalesce_lookups",
+        "indexed_lookups",
+        "full_scans",
+        "candidates_examined",
+        "pruned_connections",
+    )
 
 
 class ConnectionRegistry(List[ConnectionFacts]):
@@ -169,6 +177,7 @@ class ConnectionPool:
         tls_config_factory: Callable[[str], TlsClientConfig],
         origin_aware: bool = True,
         port: int = 443,
+        tracer=None,
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -178,6 +187,7 @@ class ConnectionPool:
         self.port = port
         self.connections = ConnectionRegistry()
         self.stats = PoolStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # -- lookup -------------------------------------------------------------
 
@@ -189,6 +199,12 @@ class ConnectionPool:
         for facts in dead:
             if self.connections.discard(facts):
                 self.stats.pruned_connections += 1
+
+    def _trace_lookup(self, kind: str, hostname: str, hit: bool,
+                      reason: str) -> None:
+        """Instant event recording why a connection was (not) reused."""
+        self.tracer.instant("pool.lookup", category="pool", kind=kind,
+                            hostname=hostname, hit=hit, reason=reason)
 
     def find_same_host(
         self, hostname: str, anonymous: bool = False
@@ -222,12 +238,24 @@ class ConnectionPool:
                 idle_h1 = facts
         self._prune(dead)
         if found is not None:
+            if self.tracer.enabled:
+                self._trace_lookup("same-host", hostname, True,
+                                   "multiplexed connection for this SNI")
             return found
         if idle_h1 is not None:
+            if self.tracer.enabled:
+                self._trace_lookup("same-host", hostname, True,
+                                   "idle http/1.1 connection")
             return idle_h1
         if h1_count >= MAX_H1_CONNECTIONS_PER_HOST:
             # At the cap: reuse the first (requests will queue on it).
+            if self.tracer.enabled:
+                self._trace_lookup("same-host", hostname, True,
+                                   "h1 per-host cap reached; queueing")
             return at_cap
+        if self.tracer.enabled:
+            self._trace_lookup("same-host", hostname, False,
+                               "no usable connection for this SNI")
         return None
 
     def find_coalescable(
@@ -238,16 +266,26 @@ class ConnectionPool:
     ) -> Optional[ConnectionFacts]:
         """An existing connection the policy lets this hostname reuse."""
         if anonymous:
-            return None  # credential-less fetches do not coalesce (§5.3)
+            # Credential-less fetches do not coalesce (§5.3).
+            if self.tracer.enabled:
+                self._trace_lookup("coalesce", hostname, False,
+                                   "anonymous partition never coalesces")
+            return None
         self.stats.coalesce_lookups += 1
         policy = self.policy
         if not getattr(policy, "coalesces", True):
+            if self.tracer.enabled:
+                self._trace_lookup("coalesce", hostname, False,
+                                   "policy never coalesces")
             return None
         if getattr(policy, "requires_ip_overlap", False):
             # Every grant implies an address overlap, so only
             # connections sharing an address with the DNS answer can
             # possibly match.
             if not dns_addresses:
+                if self.tracer.enabled:
+                    self._trace_lookup("coalesce", hostname, False,
+                                       "no DNS answer to overlap with")
                 return None
             self.stats.indexed_lookups += 1
             candidates: Iterable[ConnectionFacts] = (
@@ -274,6 +312,13 @@ class ConnectionPool:
                 found = facts
                 break
         self._prune(dead)
+        if self.tracer.enabled:
+            if found is not None:
+                self._trace_lookup("coalesce", hostname, True,
+                                   f"policy granted reuse of {found.sni}")
+            else:
+                self._trace_lookup("coalesce", hostname, False,
+                                   "no connection the policy would grant")
         return found
 
     def _scan_coalescable(
@@ -321,6 +366,7 @@ class ConnectionPool:
             tls_config,
             port=self.port,
             origin_aware=self.origin_aware,
+            tracer=self.tracer,
         )
         facts = ConnectionFacts(
             session=session,

@@ -30,20 +30,74 @@ from repro.browser.policy import POLICY_FACTORIES
 POLICIES = POLICY_FACTORIES
 
 
-def _crawl_cached(args, policy_name: str):
-    """The shared crawl pipeline: shards + jobs + cache.
+def _diag(message: str) -> None:
+    """Diagnostics (cache status, shard progress, trace notes) go to
+    stderr so stdout stays clean, parseable table output."""
+    print(message, file=sys.stderr)
 
-    Returns ``(config, shard_count, result)`` and prints the cache
-    status line every crawl-backed command shows.
+
+def _shard_progress(done: int, total: int) -> None:
+    _diag(f"shards: {done}/{total}")
+
+
+def _export_trace(trace, trace_out, want_metrics: bool) -> None:
+    """Write the requested trace artifact(s); summary goes to stdout."""
+    if trace_out:
+        if str(trace_out).endswith(".jsonl"):
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                handle.write(trace.to_jsonl())
+            _diag(f"trace: {len(trace.spans)} spans -> {trace_out} "
+                  "(span JSONL)")
+        else:
+            count = trace.write_chrome_trace(trace_out)
+            _diag(f"trace: {count} spans -> {trace_out} "
+                  "(Chrome trace_event; load in Perfetto or "
+                  "about:tracing)")
+    if want_metrics:
+        print(trace.metrics_summary())
+        print()
+
+
+def _crawl_cached(args, policy_name: str):
+    """The shared crawl pipeline: shards + jobs + cache + telemetry.
+
+    Returns ``(config, shard_count, result)``.  Diagnostics (cache
+    status, shard progress) print to stderr.  With ``--trace`` or
+    ``--metrics`` the crawl runs live (a cache hit would skip the
+    simulation and produce no spans); the archives are still stored so
+    subsequent untraced runs hit the cache.
     """
     from repro.dataset.cache import CrawlCache, cache_key, crawl_cached
     from repro.dataset.generator import DatasetConfig
-    from repro.dataset.shard import CrawlParams, plan_shards
+    from repro.dataset.shard import (
+        CrawlParams,
+        ParallelCrawler,
+        plan_shards,
+    )
 
     config = DatasetConfig(site_count=args.sites, seed=args.seed)
     params = CrawlParams(policy=policy_name, speculative_rate=0.10)
     shard_count = len(plan_shards(config, args.shards or None))
     cache = None if args.no_cache else CrawlCache(args.cache_dir)
+
+    trace_out = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_out or want_metrics:
+        crawler = ParallelCrawler(
+            config, params=params, shard_count=shard_count,
+            jobs=args.jobs,
+        )
+        result, trace = crawler.crawl_traced(progress=_shard_progress)
+        if cache is None:
+            _diag("cache: disabled")
+        else:
+            key = cache_key(config, params, shard_count)
+            cache.store(key, result)
+            _diag(f"cache: bypassed for tracing, stored "
+                  f"{cache.path_for(key)}")
+        _export_trace(trace, trace_out, want_metrics)
+        return config, shard_count, result
+
     result, hit = crawl_cached(
         config,
         params=params,
@@ -51,13 +105,14 @@ def _crawl_cached(args, policy_name: str):
         jobs=args.jobs,
         cache=cache,
         refresh=args.refresh,
+        progress=_shard_progress,
     )
     if cache is None:
-        print("cache: disabled")
+        _diag("cache: disabled")
     else:
         key = cache_key(config, params, shard_count)
         status = "hit" if hit else "miss, stored"
-        print(f"cache: {status} {cache.path_for(key)}")
+        _diag(f"cache: {status} {cache.path_for(key)}")
     return config, shard_count, result
 
 
@@ -320,6 +375,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--refresh", action="store_true",
                        help="ignore any cached crawl, re-crawl, and "
                             "overwrite the entry")
+        p.add_argument("--trace", metavar="OUT", default=None,
+                       help="crawl with span tracing and write the "
+                            "trace to OUT: Chrome trace_event JSON "
+                            "(Perfetto-loadable), or span JSONL when "
+                            "OUT ends in .jsonl; bypasses cache reads")
+        p.add_argument("--metrics", action="store_true",
+                       help="crawl with telemetry and print the "
+                            "unified metrics summary; bypasses cache "
+                            "reads")
 
     crawl = sub.add_parser("crawl", help="crawl and characterize")
     common(crawl)

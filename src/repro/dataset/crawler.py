@@ -17,6 +17,7 @@ import numpy as np
 from repro.browser import BrowserContext, BrowserEngine, ChromiumPolicy
 from repro.browser.policy import CoalescingPolicy
 from repro.dataset.world import SyntheticWorld
+from repro.telemetry import Telemetry
 from repro.web.har import HarArchive, HarPage
 
 
@@ -95,11 +96,15 @@ class Crawler:
         speculative_rate: float = 0.12,
         dns_latency_ms: float = 48.0,
         seed: int = 7,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.world = world
         self.policy = policy or ChromiumPolicy()
         self.rng = np.random.default_rng(seed)
+        self.telemetry = telemetry
         self.resolver = world.make_resolver(median_latency_ms=dns_latency_ms)
+        if telemetry is not None:
+            self.resolver.tracer = telemetry.tracer
         self.context = BrowserContext(
             network=world.network,
             client_host=world.client_host,
@@ -111,15 +116,23 @@ class Crawler:
             speculative_rate=speculative_rate,
             tls12_rate=0.45,
             asdb=world.asdb,
+            telemetry=telemetry,
         )
         self.engine = BrowserEngine(self.context)
 
     def crawl_site(self, hosted) -> HarArchive:
         """Load one site with fresh caches; failures become failed pages."""
         record = hosted.record
+        telemetry = self.telemetry
+        span = None
+        if telemetry is not None and telemetry.tracer.enabled:
+            span = telemetry.tracer.begin(
+                "site", category="crawler", url=record.page.url,
+                rank=record.scaled_rank, accessible=record.accessible,
+            )
         if not record.accessible:
             # Non-200 / CAPTCHA: the crawler never got a usable page.
-            return HarArchive(
+            archive = HarArchive(
                 page=HarPage(
                     url=record.page.url,
                     hostname=record.root_hostname,
@@ -128,8 +141,33 @@ class Crawler:
                     failure_reason="non-200 or CAPTCHA",
                 )
             )
+            if telemetry is not None:
+                if span is not None:
+                    telemetry.tracer.end(span, success=False, requests=0)
+                telemetry.metrics.counter("crawler.pages_attempted").inc()
+            return archive
         self.engine.new_session()
-        return self.engine.load_blocking(record.page)
+        archive = self.engine.load_blocking(record.page)
+        if telemetry is not None:
+            if span is not None:
+                telemetry.tracer.end(
+                    span, success=archive.page.success,
+                    requests=len(archive.entries),
+                )
+            self._absorb_page_metrics(archive)
+        return archive
+
+    def _absorb_page_metrics(self, archive: HarArchive) -> None:
+        """Fold the finished page's layer counters into the crawl-level
+        registry and record its load-time histogram."""
+        metrics = self.telemetry.metrics
+        if self.engine.loads:
+            metrics.absorb(self.engine.loads[-1].pool.stats.registry)
+        metrics.counter("crawler.pages_attempted").inc()
+        if archive.page.success:
+            metrics.counter("crawler.pages_succeeded").inc()
+            metrics.histogram("page.load_ms").observe(archive.page.on_load)
+            metrics.histogram("page.requests").observe(len(archive.entries))
 
     def crawl(
         self,
@@ -143,4 +181,6 @@ class Crawler:
             result.archives.append(self.crawl_site(hosted))
             if progress is not None:
                 progress(index + 1, total)
+        if self.telemetry is not None:
+            self.telemetry.metrics.absorb(self.resolver.stats.registry)
         return result

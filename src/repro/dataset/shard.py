@@ -33,6 +33,7 @@ from repro.browser.policy import policy_by_name
 from repro.dataset.crawler import Crawler, CrawlResult
 from repro.dataset.generator import DatasetConfig, PageGenerator, SiteRecord
 from repro.dataset.world import SyntheticWorld, build_world
+from repro.telemetry import CrawlTrace, Span, Telemetry
 from repro.web.har import HarArchive
 
 #: Sites per shard when the caller does not pick a layout.
@@ -165,6 +166,53 @@ def _crawl_shard_json(payload: Tuple[ShardSpec, CrawlParams]) -> List[str]:
     ]
 
 
+def crawl_shard_traced(
+    spec: ShardSpec, params: CrawlParams
+) -> Tuple[CrawlResult, List[Span], List[dict]]:
+    """Crawl one shard with live telemetry.
+
+    Returns ``(result, spans, metrics snapshot)``; the spans carry the
+    shard's local ids and timestamps (its simulated clock starts at
+    zero) and are merged/renumbered by :class:`~repro.telemetry
+    .CrawlTrace` in shard order.  Tracing draws no randomness and
+    schedules no events, so the archives are identical to an untraced
+    :func:`crawl_shard` of the same spec.
+    """
+    world = spec.build_world()
+    telemetry = Telemetry(clock=world.network.loop.now)
+    crawler = Crawler(
+        world,
+        policy=policy_by_name(params.policy),
+        speculative_rate=params.speculative_rate,
+        dns_latency_ms=params.dns_latency_ms,
+        seed=spec.crawler_seed(params.seed),
+        telemetry=telemetry,
+    )
+    shard_span = telemetry.tracer.begin(
+        "shard", category="crawler", index=spec.index,
+        sites=spec.site_count,
+    )
+    result = crawler.crawl()
+    telemetry.tracer.end(
+        shard_span, attempted=result.attempted,
+        succeeded=result.success_count,
+    )
+    return result, telemetry.tracer.spans, telemetry.metrics.snapshot()
+
+
+def _crawl_shard_traced_json(
+    payload: Tuple[ShardSpec, CrawlParams]
+) -> Tuple[List[str], List[dict], List[dict]]:
+    """Picklable traced worker entry: everything as JSON-able docs."""
+    spec, params = payload
+    result, spans, metrics = crawl_shard_traced(spec, params)
+    return (
+        [archive.to_json() for archive in result.archives],
+        [span.to_dict() for span in spans],
+        metrics,
+    )
+
+
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -228,6 +276,47 @@ class ParallelCrawler:
                 if progress is not None:
                     progress(done, total)
         return merged
+
+    def crawl_traced(
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ) -> Tuple[CrawlResult, CrawlTrace]:
+        """Crawl all shards with telemetry; merge spans and metrics.
+
+        Shard results are merged in shard order with renumbered span
+        ids, so the trace is byte-identical whatever ``jobs`` ran it.
+        """
+        total = len(self.shards)
+        merged = CrawlResult()
+        trace = CrawlTrace()
+        if self.jobs == 1 or total == 1:
+            for done, spec in enumerate(self.shards, start=1):
+                result, spans, metrics = crawl_shard_traced(
+                    spec, self.params
+                )
+                merged.archives.extend(result.archives)
+                trace.extend(spans, shard=spec.index)
+                trace.metrics.absorb(metrics)
+                if progress is not None:
+                    progress(done, total)
+            return merged, trace
+        payloads = [(spec, self.params) for spec in self.shards]
+        workers = min(self.jobs, total)
+        with _mp_context().Pool(processes=workers) as pool:
+            for done, (lines, span_docs, metrics) in enumerate(
+                pool.imap(_crawl_shard_traced_json, payloads), start=1
+            ):
+                merged.archives.extend(
+                    HarArchive.from_json(line) for line in lines
+                )
+                trace.extend(
+                    [Span.from_dict(doc) for doc in span_docs],
+                    shard=self.shards[done - 1].index,
+                )
+                trace.metrics.absorb(metrics)
+                if progress is not None:
+                    progress(done, total)
+        return merged, trace
 
 
 def plan_certificates_sharded(

@@ -14,21 +14,25 @@ against its known set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.h2.frames import FRAME_HEADER_LEN, KNOWN_TYPES
 from repro.h2.tls_channel import REC_APPDATA, parse_records
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
+from repro.telemetry import RegistryStats
 
 
-@dataclass
-class MiddleboxStats:
-    connections_inspected: int = 0
-    frames_inspected: int = 0
-    unknown_frames_seen: int = 0
-    connections_torn_down: int = 0
+class MiddleboxStats(RegistryStats):
+    """Inspection counters, backed by the unified metrics registry."""
+
+    _prefix = "middlebox."
+    _counters = (
+        "connections_inspected",
+        "frames_inspected",
+        "unknown_frames_seen",
+        "connections_torn_down",
+    )
 
 
 class _ConnectionInspector:

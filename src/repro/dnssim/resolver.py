@@ -9,7 +9,6 @@ per-query accounting used by the privacy analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -23,6 +22,7 @@ from repro.dnssim.records import (
 )
 from repro.dnssim.zone import Zone
 from repro.netsim.events import EventLoop
+from repro.telemetry import NULL_TRACER, RegistryStats
 
 
 class NxDomain(Exception):
@@ -37,15 +37,18 @@ MAX_CNAME_DEPTH = 8
 DEFAULT_QUERY_LATENCY_MS = 20.0
 
 
-@dataclass
-class ResolverStats:
-    """Counters consumed by the privacy analysis (paper §6.2)."""
+class ResolverStats(RegistryStats):
+    """Counters consumed by the privacy analysis (paper §6.2); backed
+    by the unified metrics registry."""
 
-    queries: int = 0
-    cache_hits: int = 0
-    nxdomain: int = 0
-    plaintext_queries: int = 0
-    encrypted_queries: int = 0
+    _prefix = "dns."
+    _counters = (
+        "queries",
+        "cache_hits",
+        "nxdomain",
+        "plaintext_queries",
+        "encrypted_queries",
+    )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -144,6 +147,9 @@ class CachingResolver:
         #: issuing another wire query.
         self._in_flight: Dict[str, List[Callable[[DnsAnswer], None]]] = {}
         self.stats = ResolverStats()
+        #: Span tracer; assign a live one to trace query/cache-hit
+        #: spans on the simulated clock (see :mod:`repro.telemetry`).
+        self.tracer = NULL_TRACER
 
     # -- latency -----------------------------------------------------------
 
@@ -202,9 +208,15 @@ class CachingResolver:
         """
         name = normalize_name(name)
         self.stats.queries += 1
+        tracer = self.tracer
+        span = tracer.begin("dns.query", category="dns", qname=name) \
+            if tracer.enabled else None
         cached = self._cache_get(name)
         if cached is not None:
             self.stats.cache_hits += 1
+            if span is not None:
+                tracer.end(span, cache_hit=True, wire=False,
+                           addresses=len(cached.addresses))
             self._loop.schedule(0.0, lambda: callback(cached))
             return
 
@@ -213,6 +225,10 @@ class CachingResolver:
             # Join the outstanding query; the joiner is served "from
             # cache" (it costs no additional wire query of its own).
             def joined(answer: DnsAnswer) -> None:
+                if span is not None:
+                    tracer.end(span, cache_hit=True, wire=False,
+                               joined=True,
+                               addresses=len(answer.addresses))
                 callback(DnsAnswer(
                     name=answer.name,
                     addresses=list(answer.addresses),
@@ -239,6 +255,9 @@ class CachingResolver:
                 addresses, ttl, chain = self._authority.query(name)
             except NxDomain as error:
                 self.stats.nxdomain += 1
+                if span is not None:
+                    tracer.end(span, cache_hit=False, wire=True,
+                               nxdomain=True, addresses=0)
                 empty = DnsAnswer(name=name, addresses=[], ttl=0.0,
                                   query_time_ms=latency)
                 if on_error is not None:
@@ -260,6 +279,9 @@ class CachingResolver:
             self._cache[name] = CacheEntry(
                 answer=answer, expires_at=self._loop.now() + ttl
             )
+            if span is not None:
+                tracer.end(span, cache_hit=False, wire=True,
+                           nxdomain=False, addresses=len(addresses))
             callback(answer)
             for waiter in waiting:
                 waiter(answer)
@@ -277,11 +299,19 @@ class CachingResolver:
         cached = self._cache_get(name)
         if cached is not None:
             self.stats.cache_hits += 1
+            if self.tracer.enabled:
+                self.tracer.instant("dns.query", category="dns",
+                                    qname=name, cache_hit=True,
+                                    wire=False, synchronous=True)
             return cached
         if self.encrypted_transport:
             self.stats.encrypted_queries += 1
         else:
             self.stats.plaintext_queries += 1
+        if self.tracer.enabled:
+            self.tracer.instant("dns.query", category="dns", qname=name,
+                                cache_hit=False, wire=False,
+                                synchronous=True)
         try:
             addresses, ttl, chain = self._authority.query(name)
         except NxDomain:

@@ -19,6 +19,7 @@ from repro.h2.errors import ErrorCode, H2ConnectionError
 from repro.h2.tls_channel import TlsClientChannel, TlsClientConfig
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
+from repro.telemetry import NULL_TRACER
 from repro.tlspki.certificate import Certificate
 
 Header = Tuple[str, str]
@@ -63,6 +64,7 @@ class H2ClientSession:
         port: int = 443,
         origin_aware: bool = True,
         secondary_certs: bool = False,
+        tracer=None,
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -98,6 +100,9 @@ class H2ClientSession:
         ] = None
         self.responses: List[H2Response] = []
         self.misdirected: List[H2Response] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._conn_span = None
+        self._stream_spans: Dict[int, object] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -111,6 +116,11 @@ class H2ClientSession:
         if on_failed is not None:
             self._on_failed.append(on_failed)
         self.connect_started_at = self.network.loop.now()
+        if self.tracer.enabled and self._conn_span is None:
+            self._conn_span = self.tracer.begin(
+                "h2.connection", category="h2",
+                sni=self.tls_config.sni, ip=self.server_ip,
+            )
         self.network.connect(
             self.client_host,
             self.server_ip,
@@ -148,6 +158,14 @@ class H2ClientSession:
             )
             self.conn.initiate()
         self.connected_at = self.network.loop.now()
+        if self._conn_span is not None:
+            # Record the phase boundaries now; the span itself stays
+            # open until the connection closes or fails.
+            self._conn_span.attrs.update(
+                tcp_ms=self.tcp_connected_at - self.connect_started_at,
+                tls_ms=self.connected_at - self.tcp_connected_at,
+                protocol=self.negotiated_protocol,
+            )
         self.ready = True
         self._flush()
         for callback in self._on_ready:
@@ -162,9 +180,11 @@ class H2ClientSession:
         # The connection died mid-flight (e.g. an on-path middlebox
         # tore it down, §6.7): surface the reset to every outstanding
         # request as a status-0 response.
+        self._end_conn_span(closed="transport")
         pending = list(self._pending.items())
         self._pending.clear()
         for stream_id, request in pending:
+            self._end_stream_span(stream_id, status=0)
             request.callback(
                 H2Response(
                     stream_id=stream_id,
@@ -184,9 +204,19 @@ class H2ClientSession:
             return
         self.failed = reason
         self.closed = True
+        self._end_conn_span(failed=reason)
         for callback in self._on_failed:
             callback(reason)
         self._on_failed.clear()
+
+    def _end_conn_span(self, **attrs) -> None:
+        if self._conn_span is not None and not self._conn_span.finished:
+            self.tracer.end(self._conn_span, **attrs)
+
+    def _end_stream_span(self, stream_id: int, **attrs) -> None:
+        span = self._stream_spans.pop(stream_id, None)
+        if span is not None:
+            self.tracer.end(span, **attrs)
 
     def close(self) -> None:
         if self.conn is not None and not self.closed:
@@ -195,6 +225,7 @@ class H2ClientSession:
         if self.channel is not None:
             self.channel.close()
         self.closed = True
+        self._end_conn_span(closed="client")
 
     def when_ready(
         self,
@@ -267,6 +298,18 @@ class H2ClientSession:
                 ErrorCode.INTERNAL_ERROR, "session not ready"
             )
         if self._h1 is not None:
+            if self.tracer.enabled:
+                span = self.tracer.begin(
+                    "h2.stream", category="h2", parent=self._conn_span,
+                    authority=authority, path=path, protocol="http/1.1",
+                )
+                inner = callback
+
+                def traced(response: H2Response) -> None:
+                    self.tracer.end(span, status=response.status)
+                    inner(response)
+
+                callback = traced
             self._h1.request(authority, path, callback,
                              tuple(extra_headers))
             return 0
@@ -293,6 +336,11 @@ class H2ClientSession:
             authority=authority, path=path, callback=callback,
             sent_at=self.network.loop.now(),
         )
+        if self.tracer.enabled:
+            self._stream_spans[stream_id] = self.tracer.begin(
+                "h2.stream", category="h2", parent=self._conn_span,
+                authority=authority, path=path, stream_id=stream_id,
+            )
         self.conn.send_headers(stream_id, headers, end_stream=True)
         self._flush()
         return stream_id
@@ -337,6 +385,12 @@ class H2ClientSession:
         elif isinstance(event, ev.StreamEnded):
             self._complete(event.stream_id)
         elif isinstance(event, ev.OriginReceived):
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "h2.origin_frame", category="h2",
+                    parent=self._conn_span, sni=self.tls_config.sni,
+                    origins=list(event.origins),
+                )
             if self.on_origin_received is not None:
                 self.on_origin_received(event.origins)
         elif isinstance(event, ev.SecondaryCertificateReceived):
@@ -386,6 +440,7 @@ class H2ClientSession:
             finished_at=self.network.loop.now(),
         )
         self.responses.append(response)
+        self._end_stream_span(stream_id, status=response.status)
         if response.status == 421:
             self.misdirected.append(response)
         pending.callback(response)

@@ -20,6 +20,7 @@ from repro.h2.errors import ErrorCode, H2ConnectionError
 from repro.h2.tls_channel import TlsServerChannel
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
+from repro.telemetry import RegistryStats
 from repro.tlspki.certificate import Certificate
 
 Header = Tuple[str, str]
@@ -131,15 +132,18 @@ class ServerConfig:
         return parent in self._serves_wildcard
 
 
-@dataclass
-class ServerStats:
-    """Counters the passive-measurement pipeline consumes."""
+class ServerStats(RegistryStats):
+    """Counters the passive-measurement pipeline consumes; backed by
+    the unified metrics registry."""
 
-    tls_handshakes: int = 0
-    connections: int = 0
-    requests: int = 0
-    misdirected: int = 0
-    origin_frames_sent: int = 0
+    _prefix = "server."
+    _counters = (
+        "tls_handshakes",
+        "connections",
+        "requests",
+        "misdirected",
+        "origin_frames_sent",
+    )
 
 
 class ServerConnection:

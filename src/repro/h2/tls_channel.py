@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.netsim.transport import Transport
+from repro.telemetry import NULL_TRACER
 from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.certificate import Certificate
 from repro.tlspki.validation import TrustStore, validate_chain
@@ -118,6 +119,8 @@ class TlsClientConfig:
     #: presence of a ticket attempts TLS 1.3 resumption, which skips
     #: certificate transmission and validation entirely.
     session_cache: Optional[dict] = None
+    #: Span tracer (:mod:`repro.telemetry`); None means no tracing.
+    tracer: Optional[object] = None
 
 
 class TicketManager:
@@ -198,8 +201,16 @@ class TlsClientChannel(TlsChannel):
         self._finished_sent = False
         self.resumed = False
         self._offered_ticket: Optional[str] = None
+        self.tracer = config.tracer if config.tracer is not None \
+            else NULL_TRACER
+        self._handshake_span = None
 
     def start(self) -> None:
+        if self.tracer.enabled:
+            self._handshake_span = self.tracer.begin(
+                "tls.handshake", category="tls", sni=self.config.sni,
+                tls13=self.config.tls13, ech=self.config.ech_enabled,
+            )
         hello = {
             "sni": "" if self.config.ech_enabled else self.config.sni,
             "real_sni": self.config.sni,
@@ -223,6 +234,10 @@ class TlsClientChannel(TlsChannel):
             self.negotiated_alpn = hello.get("alpn")
         elif record_type == REC_CERT:
             self.server_chain = deserialize_chain(payload)
+            validate_span = self.tracer.begin(
+                "tls.validate", category="tls", sni=self.config.sni,
+                chain_len=len(self.server_chain),
+            ) if self.tracer.enabled else None
             result = validate_chain(
                 self.server_chain,
                 self.config.sni,
@@ -230,6 +245,8 @@ class TlsClientChannel(TlsChannel):
                 self.config.trust_store,
                 self.config.authorities,
             )
+            if validate_span is not None:
+                self.tracer.end(validate_span, ok=result.ok)
             if not result.ok:
                 self._fail("; ".join(result.errors))
                 return
@@ -260,6 +277,9 @@ class TlsClientChannel(TlsChannel):
                     payload.decode("ascii"), list(self.server_chain),
                 )
         elif record_type == REC_ALERT:
+            self._end_handshake_span(
+                ok=False, error=payload.decode("utf-8", "replace")
+            )
             if self.on_failed is not None:
                 self.on_failed(payload.decode("utf-8", "replace"))
             self.close()
@@ -267,12 +287,24 @@ class TlsClientChannel(TlsChannel):
             if self.on_app_data is not None:
                 self.on_app_data(payload)
 
+    def _fail(self, reason: str) -> None:
+        self._end_handshake_span(ok=False, error=reason)
+        super()._fail(reason)
+
+    def _end_handshake_span(self, **attrs) -> None:
+        span = self._handshake_span
+        if span is not None and not span.finished:
+            self.tracer.end(span, **attrs)
+
     def _establish(self) -> None:
         if self.established:
             return
         self.established = True
         if self.negotiated_alpn is None and self.config.alpn:
             self.negotiated_alpn = self.config.alpn[0]
+        self._end_handshake_span(
+            ok=True, resumed=self.resumed, alpn=self.negotiated_alpn,
+        )
         if self.on_established is not None:
             self.on_established()
 

@@ -1,0 +1,111 @@
+"""``repro.telemetry`` -- simulated-clock tracing and unified metrics.
+
+The simulator knows the ground truth of every DNS lookup, TLS
+handshake, and HTTP/2 stream; this package makes that truth visible:
+
+* :class:`~repro.telemetry.tracer.Tracer` records spans against the
+  simulated clock (deterministic: same seed, byte-identical trace);
+* :class:`~repro.telemetry.metrics.MetricsRegistry` unifies the
+  per-layer counters the old ``*Stats`` dataclasses kept ad-hoc;
+* :mod:`~repro.telemetry.exporters` writes JSONL, Chrome
+  ``trace_event`` (Perfetto-loadable waterfalls), and ASCII summaries;
+* :mod:`~repro.telemetry.validation` checks the §4.1 timeline
+  reconstruction against traced ground truth (the Figure 2 oracle).
+
+A :class:`Telemetry` bundles one tracer + one registry for one
+simulated world (one clock); :data:`NULL_TELEMETRY` is the disabled
+instance every layer defaults to, with no-op tracing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.telemetry.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistryStats,
+)
+from repro.telemetry.tracer import (  # noqa: F401
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+
+class Telemetry:
+    """Tracer + metrics for one simulated world (one clock)."""
+
+    def __init__(self, clock: Callable[[], float],
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer(clock) if enabled else NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+
+#: The shared disabled instance; its registry is never exported.
+NULL_TELEMETRY = Telemetry(clock=lambda: 0.0, enabled=False)
+
+
+@dataclass
+class CrawlTrace:
+    """Merged telemetry of a (possibly sharded, parallel) crawl.
+
+    Spans are merged in shard order with globally renumbered ids, so
+    the trace is identical whatever ``jobs`` count produced it.
+    """
+
+    spans: List[Span] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def extend(self, spans: List[Span], shard: int) -> None:
+        """Adopt one shard's spans: tag the shard, renumber ids after
+        the ones already merged."""
+        offset = len(self.spans)
+        remap = {}
+        for span in spans:
+            remap[span.span_id] = span.span_id + offset
+        for span in spans:
+            span.span_id = remap[span.span_id]
+            if span.parent_id is not None:
+                span.parent_id = remap.get(span.parent_id,
+                                           span.parent_id)
+            span.shard = shard
+            self.spans.append(span)
+
+    # -- export -----------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        from repro.telemetry.exporters import spans_to_jsonl
+
+        return spans_to_jsonl(self.spans)
+
+    def write_chrome_trace(self, path) -> int:
+        from repro.telemetry.exporters import write_chrome_trace
+
+        return write_chrome_trace(path, self.spans)
+
+    def metrics_summary(self) -> str:
+        from repro.telemetry.exporters import render_metrics_summary
+
+        return render_metrics_summary(self.metrics)
+
+
+__all__ = [
+    "Counter",
+    "CrawlTrace",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NULL_TRACER",
+    "NullTracer",
+    "RegistryStats",
+    "Span",
+    "Telemetry",
+    "Tracer",
+]

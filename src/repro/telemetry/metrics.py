@@ -1,0 +1,307 @@
+"""The unified metrics registry.
+
+One :class:`MetricsRegistry` holds every counter, gauge, and histogram
+a simulated component emits, keyed by ``(name, labels)``.  The ad-hoc
+``*Stats`` dataclasses that used to live in each layer (pool, server,
+resolver, middlebox) are rebuilt on top of it via
+:class:`RegistryStats`, which preserves their plain-attribute API
+(``stats.queries += 1`` still works and still reads back as a number)
+while making every counter visible to one exporter.
+
+Registries are cheap, picklable-through-snapshots, and mergeable:
+per-shard crawl workers snapshot their registry and the parent absorbs
+the snapshots in shard order, so ``--jobs N`` produces the same merged
+metrics as ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+LabelKey = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelKey]
+
+#: Default histogram bucket upper bounds, in the unit of the observed
+#: value (ms for durations).  ``inf`` catches the tail.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, math.inf,
+)
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically *used* numeric series (``set`` exists so the
+    attribute API of :class:`RegistryStats` can write back ``+=``
+    results)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{dict(self.labels) or ''}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{dict(self.labels) or ''}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    Buckets are cumulative-style upper bounds; percentile estimates
+    return the upper bound of the bucket containing the requested
+    quantile (conservative, deterministic).
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count",
+                 "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(buckets)
+        if not self.bounds or self.bounds[-1] != math.inf:
+            self.bounds = self.bounds + (math.inf,)
+        self.bucket_counts: List[int] = [0] * len(self.bounds)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding quantile ``q`` (0..1)."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                bound = self.bounds[index]
+                return self.max if math.isinf(bound) else bound
+        return self.max
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}{dict(self.labels) or ''} "
+                f"count={self.count} mean={self.mean:.2f})")
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All metrics of one component (or one merged crawl).
+
+    Metric identity is ``(name, sorted labels)``; asking for the same
+    identity twice returns the same object, asking with a different
+    kind raises.  Iteration order is registration order, which is
+    deterministic for a deterministic simulation.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Metric] = {}
+
+    # -- creation / lookup -------------------------------------------------
+
+    def _get_or_create(self, factory, name: str,
+                       labels: Mapping[str, object], **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        metric = self._get_or_create(Counter, name, labels)
+        if metric.kind != "counter":
+            raise TypeError(f"{name} is a {metric.kind}, not a counter")
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        metric = self._get_or_create(Gauge, name, labels)
+        if metric.kind != "gauge":
+            raise TypeError(f"{name} is a {metric.kind}, not a gauge")
+        return metric
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        metric = self._get_or_create(Histogram, name, labels,
+                                     buckets=buckets)
+        if metric.kind != "histogram":
+            raise TypeError(f"{name} is a {metric.kind}, not a histogram")
+        return metric
+
+    def metrics(self) -> List[Metric]:
+        return list(self._metrics.values())
+
+    def value(self, name: str, **labels) -> Union[int, float]:
+        """Convenience read of a counter/gauge (0 when absent)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        if metric is None:
+            return 0
+        return metric.value  # type: ignore[union-attr]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- snapshot / merge --------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """A JSON-serializable copy (for worker processes and export)."""
+        out: List[dict] = []
+        for metric in self._metrics.values():
+            doc = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": list(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                doc.update(
+                    bounds=[b if not math.isinf(b) else None
+                            for b in metric.bounds],
+                    bucket_counts=list(metric.bucket_counts),
+                    count=metric.count,
+                    sum=metric.sum,
+                    min=None if math.isinf(metric.min) else metric.min,
+                    max=None if math.isinf(metric.max) else metric.max,
+                )
+            else:
+                doc["value"] = metric.value
+            out.append(doc)
+        return out
+
+    def absorb(self, source: Union["MetricsRegistry", List[dict]],
+               prefix: str = "") -> None:
+        """Merge ``source`` (a registry or a :meth:`snapshot`) into
+        this registry: counters add, gauges take the source value,
+        histograms merge bucket-by-bucket."""
+        docs = source.snapshot() if isinstance(source, MetricsRegistry) \
+            else source
+        for doc in docs:
+            labels = {key: value for key, value in doc["labels"]}
+            name = prefix + doc["name"]
+            if doc["kind"] == "counter":
+                self.counter(name, **labels).inc(doc["value"])
+            elif doc["kind"] == "gauge":
+                self.gauge(name, **labels).set(doc["value"])
+            else:
+                bounds = tuple(
+                    math.inf if b is None else b for b in doc["bounds"]
+                )
+                histogram = self.histogram(name, buckets=bounds, **labels)
+                if histogram.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name} bucket mismatch on merge"
+                    )
+                for index, count in enumerate(doc["bucket_counts"]):
+                    histogram.bucket_counts[index] += count
+                histogram.count += doc["count"]
+                histogram.sum += doc["sum"]
+                if doc["min"] is not None:
+                    histogram.min = min(histogram.min, doc["min"])
+                if doc["max"] is not None:
+                    histogram.max = max(histogram.max, doc["max"])
+
+
+class RegistryStats:
+    """Base for the per-layer ``*Stats`` objects.
+
+    Subclasses declare ``_prefix`` and ``_counters``; instances expose
+    each counter as a plain read/write attribute backed by a registry
+    series, so existing call sites (``stats.queries += 1``) and tests
+    keep working unchanged.  By default every instance gets a private
+    registry; pass ``registry=`` to bind the counters into a shared
+    one (labels distinguish instances there).
+    """
+
+    _prefix: ClassVar[str] = ""
+    _counters: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 **labels) -> None:
+        object.__setattr__(self, "registry",
+                           registry if registry is not None
+                           else MetricsRegistry())
+        object.__setattr__(self, "_labels", dict(labels))
+        for name in type(self)._counters:
+            self.registry.counter(type(self)._prefix + name, **labels)
+
+    def _series(self, name: str) -> Counter:
+        return self.registry.counter(type(self)._prefix + name,
+                                     **self._labels)
+
+    def __getattr__(self, name: str):
+        if name in type(self)._counters:
+            return self._series(name).value
+        raise AttributeError(
+            f"{type(self).__name__} has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in type(self)._counters:
+            self._series(name).set(value)
+        else:
+            object.__setattr__(self, name, value)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={self._series(name).value}"
+            for name in type(self)._counters
+        )
+        return f"{type(self).__name__}({fields})"

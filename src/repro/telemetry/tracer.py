@@ -1,0 +1,162 @@
+"""Simulated-clock span tracing.
+
+A :class:`Span` is a named interval on the **simulated** clock
+(:mod:`repro.netsim.clock` is the only time source), so traces of a
+seeded run are bit-for-bit deterministic: same seed, same spans, same
+ids, same timestamps -- regardless of wall-clock, host, or how many
+worker processes crawled the shards.
+
+The callback-driven simulator cannot use context managers for most
+spans (a fetch begins in one event and ends many events later), so the
+core API is explicit: :meth:`Tracer.begin` returns the span,
+:meth:`Tracer.end` closes it.  ``with tracer.span(...)`` exists for
+the synchronous cases.  When tracing is disabled the
+:data:`NULL_TRACER` singleton answers every call with a shared no-op
+span, keeping the hot paths at one attribute load + one call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class Span:
+    """One traced interval (or instant) in simulated milliseconds."""
+
+    span_id: int
+    name: str
+    category: str
+    start_ms: float
+    end_ms: float = -1.0
+    parent_id: Optional[int] = None
+    #: Which crawl shard produced the span; merged traces keep spans
+    #: from different shards on separate (pid) tracks because each
+    #: shard's simulated clock starts at zero.
+    shard: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms >= 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        if not self.finished:
+            return 0.0
+        return max(0.0, self.end_ms - self.start_ms)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.span_id,
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start_ms,
+            "end": self.end_ms,
+            "parent": self.parent_id,
+            "shard": self.shard,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        return cls(
+            span_id=doc["id"],
+            name=doc["name"],
+            category=doc["cat"],
+            start_ms=doc["start"],
+            end_ms=doc["end"],
+            parent_id=doc["parent"],
+            shard=doc.get("shard", 0),
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+
+class Tracer:
+    """Collects spans against a simulated clock callable."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.spans: List[Span] = []
+        self._next_id = 0
+
+    def begin(self, name: str, category: str = "",
+              parent: Optional[Span] = None, **attrs) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start_ms=self._clock(),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def end(self, span: Span, **attrs) -> Span:
+        if span.attrs is not attrs:
+            span.attrs.update(attrs)
+        if not span.finished:
+            span.end_ms = self._clock()
+        return span
+
+    def instant(self, name: str, category: str = "",
+                parent: Optional[Span] = None, **attrs) -> Span:
+        span = self.begin(name, category, parent=parent, **attrs)
+        span.end_ms = span.start_ms
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "",
+             parent: Optional[Span] = None, **attrs):
+        span = self.begin(name, category, parent=parent, **attrs)
+        try:
+            yield span
+        finally:
+            self.end(span)
+
+    def finished_spans(self) -> List[Span]:
+        return [span for span in self.spans if span.finished]
+
+
+#: Shared inert span handed out by :class:`NullTracer`; never stored.
+_NULL_SPAN = Span(span_id=-1, name="", category="", start_ms=0.0,
+                  end_ms=0.0)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is False so instrumented hot loops can skip even the
+    attribute packing for spans when they want literal zero overhead.
+    """
+
+    enabled = False
+    spans: List[Span] = []
+
+    def begin(self, name: str, category: str = "",
+              parent: Optional[Span] = None, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def end(self, span: Span, **attrs) -> Span:
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "",
+                parent: Optional[Span] = None, **attrs) -> Span:
+        return _NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, category: str = "",
+             parent: Optional[Span] = None, **attrs):
+        yield _NULL_SPAN
+
+    def finished_spans(self) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

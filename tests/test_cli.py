@@ -73,8 +73,12 @@ class TestCommands:
     def test_crawl_command(self, capsys, tmp_path):
         assert main(["crawl", "--sites", "25", "--seed", "3",
                      "--cache-dir", str(tmp_path)]) == 0
-        out = capsys.readouterr().out
-        assert "cache: miss" in out
+        captured = capsys.readouterr()
+        out = captured.out
+        # Diagnostics are stderr-only; stdout stays clean table output.
+        assert "cache: miss" in captured.err
+        assert "cache:" not in out
+        assert "shards:" in captured.err
         assert "Table 1" in out
         assert "Table 2" in out
         assert "Table 3" in out
@@ -93,13 +97,13 @@ class TestCommands:
         argv = ["crawl", "--sites", "25", "--seed", "3",
                 "--cache-dir", str(tmp_path), "--tables", "1"]
         assert main(argv) == 0
-        first = capsys.readouterr().out
-        assert "cache: miss, stored" in first
+        first = capsys.readouterr()
+        assert "cache: miss, stored" in first.err
         assert main(argv) == 0
-        second = capsys.readouterr().out
-        assert "cache: hit" in second
+        second = capsys.readouterr()
+        assert "cache: hit" in second.err
         # Identical characterization either way.
-        assert second.split("cache:")[0] == first.split("cache:")[0]
+        assert second.out == first.out
 
     def test_crawl_jobs_match_serial(self, capsys, tmp_path):
         base = ["crawl", "--sites", "8", "--seed", "3", "--shards", "2",
@@ -124,7 +128,7 @@ class TestCommands:
         assert main(argv) == 0
         capsys.readouterr()
         assert main(argv) == 0
-        assert "cache: hit" in capsys.readouterr().out
+        assert "cache: hit" in capsys.readouterr().err
 
     def test_deploy_command(self, capsys):
         assert main(["deploy", "--sites", "80", "--seed", "3"]) == 0

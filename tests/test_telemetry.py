@@ -1,0 +1,286 @@
+"""Unit tests for repro.telemetry: tracer, metrics, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.telemetry import (
+    CrawlTrace,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NULL_TRACER,
+    RegistryStats,
+    Span,
+    Telemetry,
+    Tracer,
+)
+from repro.telemetry.exporters import (
+    CATEGORY_TIDS,
+    chrome_trace_document,
+    chrome_trace_events,
+    render_metrics_summary,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestTracer:
+    def test_begin_end_records_interval(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        span = tracer.begin("fetch", category="browser", hostname="a.com")
+        clock.t = 12.5
+        tracer.end(span, status=200)
+        assert span.start_ms == 0.0
+        assert span.end_ms == 12.5
+        assert span.duration_ms == 12.5
+        assert span.attrs == {"hostname": "a.com", "status": 200}
+
+    def test_ids_sequential_and_parenting(self):
+        tracer = Tracer(FakeClock())
+        parent = tracer.begin("site")
+        child = tracer.begin("fetch", parent=parent)
+        assert parent.span_id == 0
+        assert child.span_id == 1
+        assert child.parent_id == 0
+
+    def test_instant_has_zero_duration(self):
+        clock = FakeClock()
+        clock.t = 3.0
+        span = Tracer(clock).instant("pool.lookup", hit=True)
+        assert span.finished
+        assert span.start_ms == span.end_ms == 3.0
+
+    def test_context_manager_span(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        with tracer.span("work") as span:
+            clock.t = 5.0
+        assert span.end_ms == 5.0
+
+    def test_unfinished_span_not_in_finished_spans(self):
+        tracer = Tracer(FakeClock())
+        open_span = tracer.begin("a")
+        done = tracer.begin("b")
+        tracer.end(done)
+        assert done in tracer.finished_spans()
+        assert open_span not in tracer.finished_spans()
+
+    def test_span_round_trips_through_dict(self):
+        span = Span(span_id=7, name="fetch", category="browser",
+                    start_ms=1.0, end_ms=2.0, parent_id=3, shard=2,
+                    attrs={"status": 200})
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_null_tracer_is_inert(self):
+        span = NULL_TRACER.begin("anything", foo=1)
+        NULL_TRACER.end(span, bar=2)
+        NULL_TRACER.instant("x")
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_telemetry_bundles_tracer_and_metrics(self):
+        telemetry = Telemetry(clock=FakeClock())
+        assert telemetry.tracer.enabled
+        assert isinstance(telemetry.metrics, MetricsRegistry)
+        assert NULL_TELEMETRY.tracer is NULL_TRACER
+
+
+class TestMetricsRegistry:
+    def test_counter_identity_and_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("dns.queries")
+        counter.inc()
+        counter.inc(2)
+        assert registry.counter("dns.queries") is counter
+        assert registry.value("dns.queries") == 3
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", shard=0).inc()
+        registry.counter("hits", shard=1).inc(5)
+        assert registry.value("hits", shard=0) == 1
+        assert registry.value("hits", shard=1) == 5
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_histogram_percentiles_conservative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(10.0, 100.0))
+        for value in (1.0, 2.0, 3.0, 250.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.percentile(0.5) == 10.0
+        assert histogram.percentile(1.0) == 250.0  # inf bucket -> max
+        assert histogram.min == 1.0 and histogram.max == 250.0
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(3.0)
+        text = json.dumps(registry.snapshot())
+        assert "Infinity" not in text
+
+    def test_absorb_counters_add_gauges_overwrite(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.absorb(b)
+        assert a.value("c") == 3
+        assert a.value("g") == 9
+
+    def test_absorb_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(5.0)
+        b.histogram("h").observe(500.0)
+        a.absorb(b.snapshot())
+        merged = a.histogram("h")
+        assert merged.count == 2
+        assert merged.min == 5.0 and merged.max == 500.0
+
+    def test_absorb_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, math.inf)).observe(0.5)
+        b.histogram("h", buckets=(2.0, math.inf)).observe(0.5)
+        with pytest.raises(ValueError):
+            a.absorb(b)
+
+
+class _DemoStats(RegistryStats):
+    _prefix = "demo."
+    _counters = ("hits", "misses")
+
+
+class TestRegistryStats:
+    def test_attribute_api(self):
+        stats = _DemoStats()
+        assert stats.hits == 0
+        stats.hits += 1
+        stats.hits += 1
+        stats.misses = 7
+        assert stats.hits == 2
+        assert stats.misses == 7
+
+    def test_backed_by_registry_series(self):
+        stats = _DemoStats()
+        stats.hits += 3
+        assert stats.registry.value("demo.hits") == 3
+
+    def test_shared_registry_with_labels(self):
+        registry = MetricsRegistry()
+        a = _DemoStats(registry=registry, pool="a")
+        b = _DemoStats(registry=registry, pool="b")
+        a.hits += 1
+        b.hits += 5
+        assert registry.value("demo.hits", pool="a") == 1
+        assert registry.value("demo.hits", pool="b") == 5
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            _DemoStats().bogus
+
+
+class TestExporters:
+    def _spans(self):
+        clock = FakeClock()
+        tracer = Tracer(clock)
+        a = tracer.begin("site", category="crawler", url="u")
+        b = tracer.begin("dns.query", category="dns", parent=a)
+        clock.t = 4.0
+        tracer.end(b, wire=True)
+        clock.t = 10.0
+        tracer.end(a)
+        tracer.instant("pool.lookup", category="pool", hit=False)
+        return tracer.spans
+
+    def test_jsonl_round_trip(self):
+        spans = self._spans()
+        text = spans_to_jsonl(spans)
+        assert text.endswith("\n")
+        assert spans_from_jsonl(text) == spans
+        assert spans_to_jsonl([]) == ""
+
+    def test_jsonl_is_canonical(self):
+        spans = self._spans()
+        assert spans_to_jsonl(spans) == spans_to_jsonl(
+            spans_from_jsonl(spans_to_jsonl(spans))
+        )
+
+    def test_chrome_events_complete_and_instant(self):
+        events = chrome_trace_events(self._spans())
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(complete) == 2
+        assert len(instants) == 1
+        dns = next(e for e in complete if e["name"] == "dns.query")
+        assert dns["ts"] == 0.0
+        assert dns["dur"] == 4000.0  # 4 ms in µs
+        assert dns["tid"] == CATEGORY_TIDS["dns"]
+
+    def test_chrome_events_thread_metadata_per_shard(self):
+        spans = self._spans()
+        for span in spans:
+            span.shard = 3
+        events = chrome_trace_events(spans)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"ph": "M", "name": "process_name", "pid": 3, "tid": 0,
+                "args": {"name": "crawl shard 3"}} in meta
+        assert all(e["pid"] == 3 for e in events)
+
+    def test_chrome_unfinished_span_flagged(self):
+        tracer = Tracer(FakeClock())
+        tracer.begin("open")
+        events = chrome_trace_events(tracer.spans)
+        span_events = [e for e in events if e["ph"] != "M"]
+        assert span_events[0]["args"]["unfinished"] is True
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(path, self._spans())
+        assert count == 3
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document == chrome_trace_document(self._spans())
+
+    def test_render_metrics_summary(self):
+        registry = MetricsRegistry()
+        registry.counter("dns.queries").inc(4)
+        registry.histogram("page.load_ms").observe(120.0)
+        text = render_metrics_summary(registry)
+        assert "dns.queries" in text
+        assert "4" in text
+        assert "page.load_ms" in text
+        assert render_metrics_summary(MetricsRegistry()) \
+            == "(no metrics recorded)"
+
+
+class TestCrawlTrace:
+    def test_extend_renumbers_and_tags_shards(self):
+        trace = CrawlTrace()
+        first = [Span(0, "a", "", 0.0, 1.0),
+                 Span(1, "b", "", 0.0, 1.0, parent_id=0)]
+        second = [Span(0, "c", "", 0.0, 1.0),
+                  Span(1, "d", "", 0.0, 1.0, parent_id=0)]
+        trace.extend(first, shard=0)
+        trace.extend(second, shard=1)
+        assert [s.span_id for s in trace.spans] == [0, 1, 2, 3]
+        assert trace.spans[3].parent_id == 2
+        assert [s.shard for s in trace.spans] == [0, 0, 1, 1]

@@ -1,0 +1,211 @@
+"""Telemetry end-to-end: determinism, no-op equivalence, and the
+trace-validated Figure 2 waterfall oracle."""
+
+import json
+
+import pytest
+
+from repro.dataset.generator import DatasetConfig
+from repro.dataset.shard import (
+    CrawlParams,
+    ParallelCrawler,
+    crawl_shard,
+    crawl_shard_traced,
+    plan_shards,
+)
+from repro.telemetry.validation import (
+    assert_trace_valid,
+    validate_crawl_trace,
+)
+
+CONFIG = DatasetConfig(site_count=10, seed=17)
+PARAMS = CrawlParams()
+
+
+@pytest.fixture(scope="module")
+def traced():
+    crawler = ParallelCrawler(CONFIG, PARAMS, shard_count=2, jobs=1)
+    return crawler.crawl_traced()
+
+
+class TestTracedCrawl:
+    def test_spans_cover_every_layer(self, traced):
+        _, trace = traced
+        names = {span.name for span in trace.spans}
+        assert {"shard", "site", "fetch", "pool.lookup", "dns.query",
+                "tls.handshake", "h2.connection", "h2.stream"} <= names
+
+    def test_fetch_spans_carry_page_attrs(self, traced):
+        result, trace = traced
+        fetches = [s for s in trace.spans if s.name == "fetch"]
+        assert fetches
+        for span in fetches:
+            assert span.category == "browser"
+            assert "page" in span.attrs
+            assert "hostname" in span.attrs
+            assert span.finished
+
+    def test_metrics_merged_across_shards(self, traced):
+        result, trace = traced
+        attempted = trace.metrics.value("crawler.pages_attempted")
+        assert attempted == result.attempted
+        assert trace.metrics.value("pool.connections_opened") > 0
+        assert trace.metrics.value("dns.queries") > 0
+
+    def test_tracing_does_not_change_archives(self, traced):
+        """The zero-overhead claim's other half: a traced crawl yields
+        byte-identical archives to an untraced crawl."""
+        result, _ = traced
+        untraced = ParallelCrawler(
+            CONFIG, PARAMS, shard_count=2, jobs=1
+        ).crawl()
+        assert [a.to_json() for a in untraced.archives] \
+            == [a.to_json() for a in result.archives]
+
+    def test_single_shard_traced_matches_untraced(self):
+        spec = plan_shards(CONFIG, 2)[0]
+        traced_result, spans, _ = crawl_shard_traced(spec, PARAMS)
+        plain = crawl_shard(spec, PARAMS)
+        assert [a.to_json() for a in traced_result.archives] \
+            == [a.to_json() for a in plain.archives]
+        assert spans
+
+
+class TestTraceDeterminism:
+    def test_same_seed_same_trace(self, traced):
+        _, trace = traced
+        again = ParallelCrawler(
+            CONFIG, PARAMS, shard_count=2, jobs=1
+        ).crawl_traced()[1]
+        assert again.to_jsonl() == trace.to_jsonl()
+        assert json.dumps(again.metrics.snapshot()) \
+            == json.dumps(trace.metrics.snapshot())
+
+    def test_jobs_do_not_change_trace(self, traced):
+        result, trace = traced
+        parallel_result, parallel_trace = ParallelCrawler(
+            CONFIG, PARAMS, shard_count=2, jobs=2
+        ).crawl_traced()
+        assert parallel_trace.to_jsonl() == trace.to_jsonl()
+        assert json.dumps(parallel_trace.metrics.snapshot()) \
+            == json.dumps(trace.metrics.snapshot())
+        assert [a.to_json() for a in parallel_result.archives] \
+            == [a.to_json() for a in result.archives]
+
+
+class TestFigure2Validation:
+    def test_seeded_crawl_validates_clean(self, traced):
+        result, trace = traced
+        assert validate_crawl_trace(result, trace.spans) == []
+        assert_trace_valid(result, trace.spans)
+
+    def test_validates_across_seeds(self):
+        config = DatasetConfig(site_count=8, seed=99)
+        result, trace = ParallelCrawler(
+            config, PARAMS, shard_count=2, jobs=1
+        ).crawl_traced()
+        assert validate_crawl_trace(result, trace.spans) == []
+
+    def test_corrupted_handshake_span_detected(self, traced):
+        result, trace = traced
+        # Deep-copy via dict round trip so the fixture stays pristine.
+        from repro.telemetry import Span
+        spans = [Span.from_dict(s.to_dict()) for s in trace.spans]
+        victim = next(
+            s for s in spans
+            if s.name == "h2.connection" and "tls_ms" in s.attrs
+            and s.attrs["tls_ms"] > 0
+        )
+        victim.attrs["tls_ms"] += 5.0
+        problems = validate_crawl_trace(result, spans)
+        assert problems
+        assert any("h2.connection" in p or "handshake" in p
+                   for p in problems)
+
+    def test_shifted_fetch_span_detected(self, traced):
+        result, trace = traced
+        from repro.telemetry import Span
+        spans = [Span.from_dict(s.to_dict()) for s in trace.spans]
+        victim = next(s for s in spans if s.name == "fetch"
+                      and s.attrs.get("status") == 200)
+        victim.end_ms += 3.0
+        problems = validate_crawl_trace(result, spans)
+        assert any("traced fetch ended" in p for p in problems)
+
+    def test_missing_page_spans_detected(self, traced):
+        result, trace = traced
+        succeeded = {a.page.url for a in result.successes}
+        assert succeeded
+        url = sorted(succeeded)[0]
+        spans = [s for s in trace.spans
+                 if not (s.name == "fetch"
+                         and s.attrs.get("page") == url)]
+        problems = validate_crawl_trace(result, spans)
+        assert any(url in p for p in problems)
+
+    def test_assert_raises_on_problem(self, traced):
+        result, trace = traced
+        from repro.telemetry import Span
+        spans = [Span.from_dict(s.to_dict()) for s in trace.spans]
+        victim = next(s for s in spans if s.name == "fetch"
+                      and s.attrs.get("status") == 200)
+        victim.end_ms += 1.0
+        with pytest.raises(AssertionError, match="trace/waterfall"):
+            assert_trace_valid(result, spans)
+
+
+class TestCliTracing:
+    def test_crawl_trace_writes_valid_chrome_trace(self, capsys,
+                                                   tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "crawl.trace.json"
+        assert main(["crawl", "--sites", "8", "--seed", "3",
+                     "--no-cache", "--tables", "1",
+                     "--trace", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "trace:" in captured.err
+        assert "trace:" not in captured.out
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert {e["ph"] for e in events} <= {"M", "X", "i"}
+        assert any(e["name"] == "fetch" for e in events)
+
+    def test_crawl_trace_jsonl_deterministic(self, capsys, tmp_path):
+        from repro.cli import main
+
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        argv = ["crawl", "--sites", "8", "--seed", "3", "--no-cache",
+                "--tables", "1"]
+        assert main(argv + ["--trace", str(first)]) == 0
+        assert main(argv + ["--trace", str(second), "--jobs", "2"]) == 0
+        capsys.readouterr()
+        assert first.read_text() == second.read_text()
+        assert first.read_text().strip()
+
+    def test_metrics_flag_prints_summary(self, capsys, tmp_path):
+        from repro.cli import main
+
+        assert main(["crawl", "--sites", "8", "--seed", "3",
+                     "--no-cache", "--tables", "1", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        assert "metrics -- counters and gauges" in captured.out
+        assert "dns.queries" in captured.out
+
+    def test_tracing_bypasses_cache_but_stores(self, capsys, tmp_path):
+        from repro.cli import main
+
+        cache_dir = str(tmp_path)
+        argv = ["crawl", "--sites", "8", "--seed", "3",
+                "--cache-dir", cache_dir, "--tables", "1"]
+        out = tmp_path / "t.json"
+        assert main(argv + ["--trace", str(out)]) == 0
+        first = capsys.readouterr()
+        assert "cache: bypassed for tracing" in first.err
+        # The traced run stored the archives: an untraced rerun hits.
+        assert main(argv) == 0
+        assert "cache: hit" in capsys.readouterr().err
+        # And tracing again still re-crawls rather than reading back.
+        assert main(argv + ["--trace", str(out)]) == 0
+        assert "cache: bypassed for tracing" in capsys.readouterr().err
