@@ -38,6 +38,8 @@ def parse_args(argv=None):
                         help="skip the jobs=1 == jobs=N archive check")
     parser.add_argument("--skip-traced", action="store_true",
                         help="skip the telemetry-overhead measurement")
+    parser.add_argument("--skip-audited", action="store_true",
+                        help="skip the audit-overhead measurement")
     return parser.parse_args(argv)
 
 
@@ -53,16 +55,17 @@ def timed_crawl(config, params, shard_count, jobs):
     return result, elapsed
 
 
-def timed_crawl_traced(config, params, shard_count, jobs):
+def timed_crawl_traced(config, params, shard_count, jobs,
+                       trace=True, audit=False):
     from repro.dataset.shard import ParallelCrawler
 
     crawler = ParallelCrawler(
         config, params=params, shard_count=shard_count, jobs=jobs
     )
     started = time.perf_counter()
-    result, trace = crawler.crawl_traced()
+    result, crawl_trace = crawler.crawl_traced(trace=trace, audit=audit)
     elapsed = time.perf_counter() - started
-    return result, trace, elapsed
+    return result, crawl_trace, elapsed
 
 
 def main(argv=None) -> int:
@@ -125,6 +128,33 @@ def main(argv=None) -> int:
             "overhead_vs_serial": round(overhead, 3),
         }
 
+    audited_doc = None
+    if not args.skip_audited:
+        audited, audit_trace, audited_s = timed_crawl_traced(
+            config, params, args.shards, jobs=1,
+            trace=False, audit=True,
+        )
+        audited_rate = args.sites / audited_s
+        audit_overhead = audited_s / serial_s
+        print(f"  jobs=1 audited: {audited_s:.2f}s  "
+              f"({audited_rate:.2f} sites/sec, "
+              f"{len(audit_trace.audit)} events, "
+              f"{audit_overhead:.2f}x unaudited)")
+        if not args.skip_verify:
+            audited_identical = audited.archives == serial.archives
+            print(f"  audited archives identical to unaudited: "
+                  f"{audited_identical}")
+            if not audited_identical:
+                print("bench_crawl: FAIL -- auditing changed the "
+                      "simulation's archives", file=sys.stderr)
+                return 1
+        audited_doc = {
+            "seconds": round(audited_s, 3),
+            "sites_per_sec": round(audited_rate, 3),
+            "events": len(audit_trace.audit),
+            "overhead_vs_serial": round(audit_overhead, 3),
+        }
+
     document = {
         "sites": args.sites,
         "seed": args.seed,
@@ -144,6 +174,7 @@ def main(argv=None) -> int:
         },
         "speedup": round(speedup, 3),
         "traced": traced_doc,
+        "audited": audited_doc,
     }
     output = Path(args.output)
     output.write_text(json.dumps(document, indent=2) + "\n",

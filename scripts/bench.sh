@@ -6,10 +6,11 @@
 # BENCH_crawl.json baseline.  On multi-core machines (>= 2 CPUs) it
 # also requires the parallel run to beat the serial run.
 #
-# The hard gate stays on the UNTRACED serial run -- tracing is opt-in,
-# so the baseline comparison measures the tracing-disabled path.  The
-# telemetry overhead (traced vs untraced serial throughput) is reported
-# for trend-watching but does not fail the gate.
+# The hard gate stays on the UNINSTRUMENTED serial run -- tracing and
+# auditing are opt-in, so the baseline comparison measures the
+# collectors-disabled path.  The telemetry overhead (traced vs untraced
+# serial throughput) and the audit overhead (audited vs unaudited) are
+# reported for trend-watching but do not fail the gate.
 #
 # Usage: scripts/bench.sh [sites] [jobs]
 #   REPRO_BENCH_CRAWL_SITES / REPRO_BENCH_CRAWL_JOBS override defaults.
@@ -66,6 +67,13 @@ if traced:
           f"{traced['overhead_vs_serial']:.2f}x untraced serial "
           f"({traced['sites_per_sec']:.2f} sites/sec, "
           f"{traced['spans']} spans; informational, not gated)")
+
+audited = current.get("audited")
+if audited:
+    print(f"bench.sh: audit overhead "
+          f"{audited['overhead_vs_serial']:.2f}x unaudited serial "
+          f"({audited['sites_per_sec']:.2f} sites/sec, "
+          f"{audited['events']} events; informational, not gated)")
 
 if multiprocessing.cpu_count() >= 2:
     if current["speedup"] < 1.0:

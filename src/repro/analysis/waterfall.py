@@ -8,7 +8,7 @@ Each request renders as one row; the bar shows its phases:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.web.har import HarArchive, HarEntry
 
@@ -42,8 +42,13 @@ def render_waterfall(
     width: int = 64,
     limit: Optional[int] = None,
     label_width: int = 30,
+    annotate: Optional[Callable[[HarEntry], str]] = None,
 ) -> str:
-    """Render the archive's request timeline as text rows."""
+    """Render the archive's request timeline as text rows.
+
+    ``annotate`` adds a trailing per-row column (e.g. the audited
+    decision for the request).
+    """
     entries = archive.entries_by_start()
     if limit is not None:
         entries = entries[:limit]
@@ -64,10 +69,15 @@ def render_waterfall(
         if len(label) > label_width:
             label = label[: label_width - 1] + "~"
         flag = "*" if entry.coalesced else " "
-        lines.append(
+        row = (
             f"{label.ljust(label_width)}{flag}"
             f"{_bar(entry, start, scale, width)}"
         )
+        if annotate is not None:
+            note = annotate(entry)
+            if note:
+                row = f"{row.ljust(label_width + 1 + width)}  {note}"
+        lines.append(row)
     lines.append(
         "legend: .=blocked D=dns C=connect S=tls #=transfer "
         "*=coalesced"

@@ -1,0 +1,146 @@
+"""Rendering for ``repro explain``: annotated waterfalls plus the
+aggregate miss-reason breakdown tables.
+
+The waterfall is the Figure 2 timeline with one extra column: the
+audited decision (how the request was served) and its
+:class:`~repro.audit.reasons.ReasonCode`.  The breakdown tables
+decompose the measured-vs-ideal Figure 3 gaps into the named causes
+computed by :mod:`repro.audit.reconcile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.render import render_table
+from repro.analysis.waterfall import render_waterfall
+from repro.audit.log import AuditEvent
+from repro.audit.reasons import REASON_DESCRIPTIONS, ReasonCode
+from repro.audit.reconcile import (
+    METRICS,
+    DecisionKey,
+    GapBreakdown,
+    decision_index,
+    reconcile_result,
+)
+from repro.web.har import HarArchive, HarEntry
+
+
+def _annotator(
+    archive: HarArchive, decisions: Dict[DecisionKey, AuditEvent]
+):
+    def annotate(entry: HarEntry) -> str:
+        event = decisions.get(
+            (archive.page.url, entry.hostname, entry.path)
+        )
+        if event is None:
+            return "?"
+        return f"{event.decision}:{event.reason}"
+
+    return annotate
+
+
+def render_page_decisions(
+    archive: HarArchive,
+    decisions: Dict[DecisionKey, AuditEvent],
+    width: int = 56,
+    limit: Optional[int] = None,
+) -> str:
+    """One page's annotated waterfall, headed by its URL and verdict."""
+    page = archive.page
+    status = "ok" if page.success else \
+        f"failed ({page.failure_reason or 'unknown'})"
+    header = (
+        f"page {page.url} [{status}] "
+        f"requests={len(archive.entries)} "
+        f"extra_tls={page.extra_tls_connections}"
+    )
+    if not archive.entries:
+        return f"{header}\n(no requests recorded)"
+    return "\n".join([
+        header,
+        render_waterfall(
+            archive, width=width, limit=limit,
+            annotate=_annotator(archive, decisions),
+        ),
+    ])
+
+
+def render_breakdown_table(breakdown: GapBreakdown) -> str:
+    """One metric's reconciliation as a table of named buckets."""
+    rows: List[Sequence[object]] = []
+    for bucket, counter in (
+        ("baseline", breakdown.baseline),
+        ("excess", breakdown.excess),
+        ("credit", breakdown.credits),
+    ):
+        for code, count in sorted(
+            counter.items(), key=lambda item: (-item[1], item[0])
+        ):
+            rows.append([
+                bucket, code, count,
+                REASON_DESCRIPTIONS[ReasonCode(code)],
+            ])
+    rows.append([
+        "total",
+        f"measured={breakdown.measured} ideal={breakdown.ideal}",
+        breakdown.gap,
+        "gap = sum(excess) - sum(credits)"
+        + ("" if breakdown.reconciles() else "  [DOES NOT RECONCILE]"),
+    ])
+    title = (
+        f"{breakdown.metric} gap vs ideal-{breakdown.model}: "
+        f"measured {breakdown.measured} - ideal {breakdown.ideal} "
+        f"= {breakdown.gap}"
+    )
+    return render_table(
+        title, ["bucket", "reason", "count", "description"], rows
+    )
+
+
+def render_explanation(
+    archives: Sequence[HarArchive],
+    events: Iterable[AuditEvent],
+    pages: Optional[int] = None,
+    metrics: Sequence[str] = METRICS,
+    models: Sequence[str] = ("origin", "ip"),
+    width: int = 56,
+) -> str:
+    """The full ``repro explain`` report: waterfalls, then breakdowns.
+
+    ``pages`` limits how many per-page waterfalls render (None = all);
+    the breakdown always aggregates every successful page.
+    """
+    events = list(events)
+    decisions = decision_index(events)
+    sections: List[str] = []
+    shown = archives if pages is None else archives[:pages]
+    for archive in shown:
+        sections.append(
+            render_page_decisions(archive, decisions, width=width)
+        )
+    if pages is not None and len(archives) > pages:
+        sections.append(
+            f"({len(archives) - pages} more pages not shown; "
+            "use --pages to render them)"
+        )
+    breakdowns = reconcile_result(events=events, archives=archives,
+                                  models=models)
+    for model in models:
+        for metric in metrics:
+            sections.append(
+                render_breakdown_table(breakdowns[model][metric])
+            )
+    return "\n\n".join(sections)
+
+
+def render_taxonomy() -> str:
+    """The full reason-code taxonomy as a table (for the docs and
+    ``repro explain --taxonomy``)."""
+    from repro.audit.reasons import taxonomy_table
+
+    return render_table(
+        "reason-code taxonomy",
+        ["code", "description"],
+        taxonomy_table(),
+    )

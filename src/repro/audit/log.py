@@ -1,0 +1,158 @@
+"""The decision-audit log.
+
+One :class:`AuditLog` per simulated world records every
+coalescing-relevant decision as a typed :class:`AuditEvent` carrying a
+:class:`~repro.audit.reasons.ReasonCode`.  Like spans, events are
+timestamped on the simulated clock and sequence-numbered in emission
+order, so a shard's log is deterministic and shard logs merge in shard
+order into a stream that is byte-identical whatever ``--jobs`` count
+produced it.
+
+:data:`NULL_AUDIT` is the shared disabled instance (``enabled`` False,
+``record`` a no-op) that every layer defaults to, mirroring
+``NULL_TRACER``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.audit.reasons import ReasonCode, reason_code
+
+
+@dataclass
+class AuditEvent:
+    """One recorded decision.
+
+    ``kind`` names the decision point (``decision`` is the final
+    per-request verdict; ``lookup``/``speculative`` come from the
+    pool; ``dns``/``tls``/``h2``/``middlebox`` from their layers),
+    ``reason`` is the taxonomy code, and ``decision`` (on request
+    events) is how the request was ultimately served.
+    """
+
+    seq: int
+    kind: str
+    reason: str
+    at_ms: float
+    page: str = ""
+    hostname: str = ""
+    path: str = ""
+    decision: str = ""
+    shard: int = 0
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        doc = {
+            "seq": self.seq,
+            "kind": self.kind,
+            "reason": self.reason,
+            "at_ms": round(self.at_ms, 6),
+            "shard": self.shard,
+        }
+        if self.page:
+            doc["page"] = self.page
+        if self.hostname:
+            doc["hostname"] = self.hostname
+        if self.path:
+            doc["path"] = self.path
+        if self.decision:
+            doc["decision"] = self.decision
+        if self.attrs:
+            doc["attrs"] = self.attrs
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AuditEvent":
+        return cls(
+            seq=int(doc["seq"]),
+            kind=str(doc["kind"]),
+            reason=reason_code(str(doc["reason"])).value,
+            at_ms=float(doc["at_ms"]),
+            page=str(doc.get("page", "")),
+            hostname=str(doc.get("hostname", "")),
+            path=str(doc.get("path", "")),
+            decision=str(doc.get("decision", "")),
+            shard=int(doc.get("shard", 0)),
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+    @property
+    def code(self) -> ReasonCode:
+        return ReasonCode(self.reason)
+
+
+class AuditLog:
+    """Collects :class:`AuditEvent` against a simulated clock."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.events: List[AuditEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        reason: ReasonCode,
+        page: str = "",
+        hostname: str = "",
+        path: str = "",
+        decision: str = "",
+        **attrs,
+    ) -> AuditEvent:
+        event = AuditEvent(
+            seq=len(self.events),
+            kind=kind,
+            reason=ReasonCode(reason).value,
+            at_ms=self._clock(),
+            page=page,
+            hostname=hostname,
+            path=path,
+            decision=decision,
+            attrs=attrs,
+        )
+        self.events.append(event)
+        return event
+
+
+class NullAuditLog(AuditLog):
+    """Disabled log: ``record`` does nothing and keeps nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def record(self, kind, reason, page="", hostname="", path="",
+               decision="", **attrs):
+        return None
+
+
+#: The shared disabled instance every layer defaults to.
+NULL_AUDIT = NullAuditLog()
+
+
+def events_to_jsonl(events: Iterable[AuditEvent]) -> str:
+    """Canonical JSONL: sorted keys, compact separators, one event per
+    line -- byte-identical for identical event streams."""
+    lines = [
+        json.dumps(event.to_dict(), sort_keys=True,
+                   separators=(",", ":"))
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> List[AuditEvent]:
+    """Parse :func:`events_to_jsonl` output, validating every reason
+    code against the closed taxonomy
+    (:class:`~repro.audit.reasons.UnknownReasonCode` on violation)."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(AuditEvent.from_dict(json.loads(line)))
+    return events

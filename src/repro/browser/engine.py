@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.browser.cache import BrowserCache
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.browser.pool import ConnectionPool
@@ -73,8 +75,15 @@ class BrowserContext:
             return self.telemetry.tracer
         return NULL_TRACER
 
+    @property
+    def audit(self):
+        if self.telemetry is not None:
+            return self.telemetry.audit
+        return NULL_AUDIT
+
     def tls_config(self, sni: str) -> TlsClientConfig:
         tracer = self.tracer
+        audit = self.audit
         return TlsClientConfig(
             sni=sni,
             trust_store=self.trust_store,
@@ -83,6 +92,7 @@ class BrowserContext:
             tls13=self.tls13,
             session_cache=self.tls_session_cache,
             tracer=tracer if tracer.enabled else None,
+            audit=audit if audit.enabled else None,
         )
 
 
@@ -108,6 +118,17 @@ class _FetchState:
         self.retried_after_421 = False
         self.facts: Optional[ConnectionFacts] = None
         self.span = None
+        #: Why the request was served the way it was; set at each
+        #: decision point and stamped on the final audit event.
+        self.reason: Optional[ReasonCode] = None
+
+    def adopt_reason(self, reason: ReasonCode) -> None:
+        """Adopt a (refined) miss reason, keeping an earlier, more
+        specific same-host cause when one was recorded."""
+        if self.reason in (ReasonCode.MISS_CANNOT_MULTIPLEX,
+                           ReasonCode.MISS_CLOSED_STALE):
+            return
+        self.reason = reason
 
 
 class PageLoad:
@@ -133,6 +154,8 @@ class PageLoad:
             ) or not self.context.policy.requires_dns_before_reuse,
             port=self.context.port,
             tracer=self.context.tracer,
+            audit=self.context.audit,
+            page=self.page.url,
         )
         self.entries: List[HarEntry] = []
         self.outstanding = 0
@@ -155,6 +178,7 @@ class PageLoad:
             path=self.page.root_path,
             started_at=self.loop.now(),
         )
+        state.reason = ReasonCode.MISS_FIRST_CONTACT
         self._begin_fetch_span(state, root=True)
         self._resolve_then_connect(state, anonymous=False)
 
@@ -172,6 +196,7 @@ class PageLoad:
         anonymous = resource.fetch_mode is not FetchMode.NORMAL
 
         if not resource.secure:
+            state.reason = ReasonCode.MISS_CLEARTEXT_HTTP
             self._fetch_plain(state)
             return
 
@@ -179,6 +204,7 @@ class PageLoad:
         if self.context.cache_enabled:
             cached = self.engine.cache.get(url, self.loop.now())
             if cached is not None:
+                state.reason = ReasonCode.HIT_BROWSER_CACHE
                 self._record_cached(state)
                 return
 
@@ -186,18 +212,24 @@ class PageLoad:
         same_host = self.pool.find_same_host(
             resource.hostname, anonymous=anonymous
         )
-        if same_host is not None:
+        state.reason = same_host.reason
+        if same_host:
             self.pool.note_same_host_reuse()
-            self._reuse(state, same_host, anonymous)
+            self._reuse(state, same_host.facts, anonymous)
             return
+        if anonymous:
+            # The partition, not the pool's contents, is what forbids
+            # coalescing from here on.
+            state.adopt_reason(ReasonCode.MISS_ANONYMOUS_PARTITION)
 
         # DNS-free ORIGIN coalescing (ideal client, §6.8).
         if not self.context.policy.requires_dns_before_reuse and not anonymous:
-            facts = self.pool.find_coalescable(resource.hostname, ())
-            if facts is not None:
+            outcome = self.pool.find_coalescable(resource.hostname, ())
+            if outcome:
+                state.reason = outcome.reason
                 state.coalesced = True
                 self.pool.note_coalesced_reuse()
-                self._reuse(state, facts, anonymous)
+                self._reuse(state, outcome.facts, anonymous)
                 return
 
         self._resolve_then_connect(state, anonymous)
@@ -208,6 +240,7 @@ class PageLoad:
 
         def on_answer(answer) -> None:
             if answer.empty:
+                state.reason = ReasonCode.MISS_DNS_NXDOMAIN
                 self._record_failure(state, "NXDOMAIN")
                 return
             state.timings.dns = (
@@ -245,6 +278,7 @@ class PageLoad:
     ) -> None:
         def on_answer(answer) -> None:
             if answer.empty:
+                state.reason = ReasonCode.MISS_DNS_NXDOMAIN
                 self._record_failure(state, "NXDOMAIN")
                 return
             state.timings.dns = (
@@ -253,14 +287,16 @@ class PageLoad:
             state.dns_addresses = list(answer.addresses)
             # Cross-host coalescing after the (browser-mandated) query.
             if state.resource is not None and not anonymous:
-                facts = self.pool.find_coalescable(
+                outcome = self.pool.find_coalescable(
                     state.hostname, answer.addresses
                 )
-                if facts is not None:
+                if outcome:
+                    state.reason = outcome.reason
                     state.coalesced = True
                     self.pool.note_coalesced_reuse()
-                    self._reuse(state, facts, anonymous)
+                    self._reuse(state, outcome.facts, anonymous)
                     return
+                state.adopt_reason(outcome.reason)
             self._open_and_request(state, anonymous)
 
         self.context.resolver.resolve(state.hostname, on_answer)
@@ -307,6 +343,13 @@ class PageLoad:
         if rng.random() >= self.context.speculative_rate:
             return
         self.extra_tls += 1
+        audit = self.context.audit
+        if audit.enabled:
+            audit.record(
+                "speculative", ReasonCode.MISS_SPECULATIVE_RACE,
+                page=self.page.url, hostname=state.hostname,
+                path=state.path, decision="speculative",
+            )
         self.pool.open_connection(
             hostname=state.hostname,
             ip=state.dns_addresses[min(1, len(state.dns_addresses) - 1)],
@@ -351,6 +394,7 @@ class PageLoad:
                 # the accumulated penalty in the same HAR entry.
                 state.retried_after_421 = True
                 state.coalesced = False
+                state.reason = ReasonCode.MISS_MISDIRECTED_421
                 self._open_and_request(state, anonymous=False)
                 return
             self._record_success(state, response)
@@ -381,6 +425,22 @@ class PageLoad:
         if state.timings.ssl >= 0 or state.timings.connect >= 0:
             return "new"
         return "same-host"
+
+    def _record_decision(self, state: _FetchState, status: int,
+                         decision: str) -> None:
+        """The final per-request audit event: how the request was
+        served and why.  Last event wins for a (page, host, path) key,
+        so a 421 retry's second verdict supersedes the first."""
+        audit = self.context.audit
+        if not audit.enabled:
+            return
+        reason = state.reason or ReasonCode.MISS_UNATTRIBUTED
+        audit.record(
+            "decision", reason, page=self.page.url,
+            hostname=state.hostname, path=state.path,
+            decision=decision, status=status,
+            coalesced=state.coalesced,
+        )
 
     # -- recording ------------------------------------------------------------
 
@@ -472,6 +532,8 @@ class PageLoad:
             self.engine.cache.store(
                 entry.url, len(response.body), self.loop.now()
             )
+        via = "cleartext" if plain_http else self._via(state)
+        self._record_decision(state, response.status, via)
         self._end_fetch_span(state, response.status, self._via(state))
         self._discover_children(state, response.status)
         self._done_one()
@@ -480,6 +542,7 @@ class PageLoad:
         entry = self._make_entry(state, 200, 0)
         entry.protocol = "cache"
         self.entries.append(entry)
+        self._record_decision(state, 200, "cache")
         self._end_fetch_span(state, 200, "cache")
         self._discover_children(state, 200)
         self._done_one()
@@ -489,6 +552,10 @@ class PageLoad:
         self.entries.append(entry)
         if state.resource is None:
             self.root_status = 0
+        if state.reason is None or state.reason is not \
+                ReasonCode.MISS_DNS_NXDOMAIN:
+            state.reason = ReasonCode.MISS_REQUEST_FAILED
+        self._record_decision(state, 0, "failed")
         if state.span is not None:
             self.context.tracer.end(state.span, status=0, via="failed",
                                     error=reason)

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Sequence
 
+from repro.audit.reasons import ReasonCode
+
 
 @dataclass
 class ConnectionFacts:
@@ -39,7 +41,14 @@ class ConnectionFacts:
 
 
 class CoalescingPolicy:
-    """Decides cross-hostname connection reuse."""
+    """Decides cross-hostname connection reuse.
+
+    :meth:`explain` is the single source of truth: it returns the
+    :class:`~repro.audit.reasons.ReasonCode` for one candidate
+    connection, and :meth:`can_reuse` is derived from it -- so the
+    audit log, the pool's trace events, and the actual reuse decision
+    can never disagree.
+    """
 
     name = "base"
     #: Whether a DNS answer must be obtained before attempting reuse.
@@ -55,13 +64,23 @@ class CoalescingPolicy:
     #: the pool may restrict the search to its IP index.
     requires_ip_overlap = False
 
+    def explain(
+        self,
+        facts: ConnectionFacts,
+        hostname: str,
+        dns_addresses: Sequence[str],
+    ) -> ReasonCode:
+        """Why this connection may (``is_hit``) or may not serve
+        ``hostname``."""
+        raise NotImplementedError
+
     def can_reuse(
         self,
         facts: ConnectionFacts,
         hostname: str,
         dns_addresses: Sequence[str],
     ) -> bool:
-        raise NotImplementedError
+        return self.explain(facts, hostname, dns_addresses).is_hit
 
 
 class NoCoalescingPolicy(CoalescingPolicy):
@@ -70,8 +89,8 @@ class NoCoalescingPolicy(CoalescingPolicy):
     name = "none"
     coalesces = False
 
-    def can_reuse(self, facts, hostname, dns_addresses):
-        return False
+    def explain(self, facts, hostname, dns_addresses):
+        return ReasonCode.MISS_POLICY_FORBIDS
 
 
 class ChromiumPolicy(CoalescingPolicy):
@@ -86,12 +105,14 @@ class ChromiumPolicy(CoalescingPolicy):
     name = "chromium"
     requires_ip_overlap = True
 
-    def can_reuse(self, facts, hostname, dns_addresses):
+    def explain(self, facts, hostname, dns_addresses):
         if not facts.can_multiplex:
-            return False
+            return ReasonCode.MISS_CANNOT_MULTIPLEX
         if not facts.certificate_covers(hostname):
-            return False
-        return facts.connected_ip in dns_addresses
+            return ReasonCode.MISS_SAN_MISMATCH
+        if facts.connected_ip in dns_addresses:
+            return ReasonCode.POOL_HIT_IP_SAN
+        return ReasonCode.MISS_NO_DNS_OVERLAP
 
 
 class FirefoxPolicy(CoalescingPolicy):
@@ -116,14 +137,16 @@ class FirefoxPolicy(CoalescingPolicy):
         if origin_frames:
             self.name = "firefox+origin"
 
-    def can_reuse(self, facts, hostname, dns_addresses):
+    def explain(self, facts, hostname, dns_addresses):
         if not facts.can_multiplex:
-            return False
+            return ReasonCode.MISS_CANNOT_MULTIPLEX
         if not facts.certificate_covers(hostname):
-            return False
+            return ReasonCode.MISS_SAN_MISMATCH
         if self.origin_frames and facts.origin_set_covers(hostname):
-            return True
-        return bool(facts.available_set.intersection(dns_addresses))
+            return ReasonCode.POOL_HIT_ORIGIN_FRAME
+        if facts.available_set.intersection(dns_addresses):
+            return ReasonCode.POOL_HIT_IP_SAN
+        return ReasonCode.MISS_NO_DNS_OVERLAP
 
 
 class IdealOriginPolicy(CoalescingPolicy):
@@ -140,14 +163,16 @@ class IdealOriginPolicy(CoalescingPolicy):
     name = "ideal-origin"
     requires_dns_before_reuse = False
 
-    def can_reuse(self, facts, hostname, dns_addresses):
+    def explain(self, facts, hostname, dns_addresses):
         if not facts.can_multiplex:
-            return False
+            return ReasonCode.MISS_CANNOT_MULTIPLEX
         if not facts.certificate_covers(hostname):
-            return False
+            return ReasonCode.MISS_SAN_MISMATCH
         if facts.origin_set_covers(hostname):
-            return True
-        return bool(facts.available_set.intersection(dns_addresses))
+            return ReasonCode.POOL_HIT_ORIGIN_FRAME
+        if facts.available_set.intersection(dns_addresses):
+            return ReasonCode.POOL_HIT_IP_SAN
+        return ReasonCode.MISS_NO_DNS_OVERLAP
 
 
 #: Canonical name -> factory registry.  The CLI, the parallel crawl

@@ -22,10 +22,16 @@ scans every open connection.  :class:`PoolStats` counts how each
 lookup was answered, and dead (closed/failed) sessions are pruned from
 the registry and both indexes as soon as a lookup or accounting path
 touches them.
+
+Every lookup returns a :class:`LookupOutcome` whose
+:class:`~repro.audit.reasons.ReasonCode` says *why* the connection was
+(or was not) reused; the same code is stamped on the pool's trace
+events and audit-log entries, so the three can never disagree.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
     Callable,
     Dict,
@@ -36,6 +42,8 @@ from typing import (
     Tuple,
 )
 
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.h2.client import H2ClientSession
 from repro.h2.tls_channel import TlsClientConfig
@@ -45,6 +53,36 @@ from repro.telemetry import NULL_TRACER, RegistryStats
 #: Browsers cap parallel HTTP/1.1 connections per host; 6 is the
 #: long-standing Chromium/Firefox default.
 MAX_H1_CONNECTIONS_PER_HOST = 6
+
+
+@dataclass(frozen=True)
+class LookupOutcome:
+    """A pool lookup's answer plus the reason code explaining it.
+
+    Truthy exactly when a connection was found, so call sites read
+    naturally (``if outcome: reuse(outcome.facts)``).
+    """
+
+    facts: Optional[ConnectionFacts]
+    reason: ReasonCode
+
+    @property
+    def hit(self) -> bool:
+        return self.facts is not None
+
+    def __bool__(self) -> bool:
+        return self.facts is not None
+
+
+#: When a coalesce lookup rejects several candidates for different
+#: reasons, report the one that came closest to a grant: a pure
+#: address-overlap failure (the §2.3 transitivity loss) beats a SAN
+#: failure beats a protocol failure.
+_COALESCE_MISS_PRIORITY = {
+    ReasonCode.MISS_NO_DNS_OVERLAP: 3,
+    ReasonCode.MISS_SAN_MISMATCH: 2,
+    ReasonCode.MISS_CANNOT_MULTIPLEX: 1,
+}
 
 
 class PoolStats(RegistryStats):
@@ -178,6 +216,8 @@ class ConnectionPool:
         origin_aware: bool = True,
         port: int = 443,
         tracer=None,
+        audit=None,
+        page: str = "",
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -188,6 +228,10 @@ class ConnectionPool:
         self.connections = ConnectionRegistry()
         self.stats = PoolStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.audit = audit if audit is not None else NULL_AUDIT
+        #: Page URL stamped on this pool's audit events (one pool per
+        #: page load).
+        self.page = page
 
     # -- lookup -------------------------------------------------------------
 
@@ -200,15 +244,35 @@ class ConnectionPool:
             if self.connections.discard(facts):
                 self.stats.pruned_connections += 1
 
-    def _trace_lookup(self, kind: str, hostname: str, hit: bool,
-                      reason: str) -> None:
-        """Instant event recording why a connection was (not) reused."""
-        self.tracer.instant("pool.lookup", category="pool", kind=kind,
-                            hostname=hostname, hit=hit, reason=reason)
+    def _note_lookup(self, kind: str, hostname: str,
+                     outcome: LookupOutcome) -> None:
+        """Record one lookup verdict on the trace and the audit log.
+
+        Both carry the same :class:`~repro.audit.reasons.ReasonCode`,
+        so the two streams cannot disagree.
+        """
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "pool.lookup", category="pool", kind=kind,
+                hostname=hostname, hit=outcome.hit,
+                reason=outcome.reason.value,
+            )
+        if self.audit.enabled:
+            self.audit.record(
+                "lookup", outcome.reason, page=self.page,
+                hostname=hostname, lookup=kind, hit=outcome.hit,
+                reused_sni=outcome.facts.sni if outcome.facts else "",
+            )
+
+    @property
+    def observed(self) -> bool:
+        """Whether any observer (tracer or audit log) is live; precise
+        miss classification is only worth extra work when one is."""
+        return self.tracer.enabled or self.audit.enabled
 
     def find_same_host(
         self, hostname: str, anonymous: bool = False
-    ) -> Optional[ConnectionFacts]:
+    ) -> LookupOutcome:
         """An existing connection whose SNI is this hostname.
 
         HTTP/1.1 sessions are only returned when idle; busy ones force
@@ -220,12 +284,14 @@ class ConnectionPool:
         idle_h1: Optional[ConnectionFacts] = None
         at_cap: Optional[ConnectionFacts] = None
         h1_count = 0
+        partition_skips = 0
         dead: List[ConnectionFacts] = []
         for facts in self.connections.for_host(hostname):
             if not self._usable(facts):
                 dead.append(facts)
                 continue
             if facts.anonymous_partition != anonymous:
+                partition_skips += 1
                 continue
             self.stats.candidates_examined += 1
             if facts.can_multiplex:
@@ -238,55 +304,60 @@ class ConnectionPool:
                 idle_h1 = facts
         self._prune(dead)
         if found is not None:
-            if self.tracer.enabled:
-                self._trace_lookup("same-host", hostname, True,
-                                   "multiplexed connection for this SNI")
-            return found
-        if idle_h1 is not None:
-            if self.tracer.enabled:
-                self._trace_lookup("same-host", hostname, True,
-                                   "idle http/1.1 connection")
-            return idle_h1
-        if h1_count >= MAX_H1_CONNECTIONS_PER_HOST:
+            outcome = LookupOutcome(found, ReasonCode.POOL_HIT_SAME_HOST)
+        elif idle_h1 is not None:
+            outcome = LookupOutcome(idle_h1, ReasonCode.POOL_HIT_H1_IDLE)
+        elif h1_count >= MAX_H1_CONNECTIONS_PER_HOST:
             # At the cap: reuse the first (requests will queue on it).
-            if self.tracer.enabled:
-                self._trace_lookup("same-host", hostname, True,
-                                   "h1 per-host cap reached; queueing")
-            return at_cap
-        if self.tracer.enabled:
-            self._trace_lookup("same-host", hostname, False,
-                               "no usable connection for this SNI")
-        return None
+            outcome = LookupOutcome(at_cap, ReasonCode.POOL_HIT_H1_CAP)
+        elif h1_count:
+            # Busy HTTP/1.1 connections under the cap: the browser
+            # opens another parallel connection.
+            outcome = LookupOutcome(
+                None, ReasonCode.MISS_CANNOT_MULTIPLEX
+            )
+        elif dead:
+            outcome = LookupOutcome(None, ReasonCode.MISS_CLOSED_STALE)
+        elif partition_skips:
+            outcome = LookupOutcome(
+                None, ReasonCode.MISS_ANONYMOUS_PARTITION
+            )
+        else:
+            outcome = LookupOutcome(None, ReasonCode.MISS_NO_CONNECTION)
+        self._note_lookup("same-host", hostname, outcome)
+        return outcome
 
     def find_coalescable(
         self,
         hostname: str,
         dns_addresses: Sequence[str],
         anonymous: bool = False,
-    ) -> Optional[ConnectionFacts]:
+    ) -> LookupOutcome:
         """An existing connection the policy lets this hostname reuse."""
         if anonymous:
             # Credential-less fetches do not coalesce (§5.3).
-            if self.tracer.enabled:
-                self._trace_lookup("coalesce", hostname, False,
-                                   "anonymous partition never coalesces")
-            return None
+            outcome = LookupOutcome(
+                None, ReasonCode.MISS_ANONYMOUS_PARTITION
+            )
+            self._note_lookup("coalesce", hostname, outcome)
+            return outcome
         self.stats.coalesce_lookups += 1
         policy = self.policy
         if not getattr(policy, "coalesces", True):
-            if self.tracer.enabled:
-                self._trace_lookup("coalesce", hostname, False,
-                                   "policy never coalesces")
-            return None
-        if getattr(policy, "requires_ip_overlap", False):
+            outcome = LookupOutcome(None, ReasonCode.MISS_POLICY_FORBIDS)
+            self._note_lookup("coalesce", hostname, outcome)
+            return outcome
+        indexed = getattr(policy, "requires_ip_overlap", False)
+        if indexed:
             # Every grant implies an address overlap, so only
             # connections sharing an address with the DNS answer can
             # possibly match.
             if not dns_addresses:
-                if self.tracer.enabled:
-                    self._trace_lookup("coalesce", hostname, False,
-                                       "no DNS answer to overlap with")
-                return None
+                outcome = LookupOutcome(
+                    None, ReasonCode.MISS_NO_DNS_OVERLAP
+                )
+                self._note_lookup("coalesce", hostname, outcome)
+                return outcome
             self.stats.indexed_lookups += 1
             candidates: Iterable[ConnectionFacts] = (
                 self.connections.candidates_for_ips(dns_addresses)
@@ -298,6 +369,9 @@ class ConnectionPool:
             self.stats.full_scans += 1
             candidates = list(self.connections)
         found: Optional[ConnectionFacts] = None
+        hit_reason = ReasonCode.POOL_HIT_IP_SAN
+        miss_reason: Optional[ReasonCode] = None
+        examined = 0
         dead: List[ConnectionFacts] = []
         for facts in candidates:
             if not self._usable(facts):
@@ -308,18 +382,44 @@ class ConnectionPool:
             if facts.sni == hostname:
                 continue  # that would be same-host reuse
             self.stats.candidates_examined += 1
-            if policy.can_reuse(facts, hostname, dns_addresses):
+            examined += 1
+            verdict = policy.explain(facts, hostname, dns_addresses)
+            if verdict.is_hit:
                 found = facts
+                hit_reason = verdict
                 break
+            if miss_reason is None or (
+                _COALESCE_MISS_PRIORITY.get(verdict, 0)
+                > _COALESCE_MISS_PRIORITY.get(miss_reason, 0)
+            ):
+                miss_reason = verdict
         self._prune(dead)
-        if self.tracer.enabled:
-            if found is not None:
-                self._trace_lookup("coalesce", hostname, True,
-                                   f"policy granted reuse of {found.sni}")
-            else:
-                self._trace_lookup("coalesce", hostname, False,
-                                   "no connection the policy would grant")
-        return found
+        if found is not None:
+            outcome = LookupOutcome(found, hit_reason)
+        elif examined:
+            outcome = LookupOutcome(
+                None, miss_reason or ReasonCode.MISS_NO_CANDIDATE
+            )
+        elif indexed and self.observed and self._has_other_usable(
+            hostname
+        ):
+            # The IP index returned nothing, but usable connections to
+            # other hosts exist -- none shares an address with the DNS
+            # answer.  (Classification only; skipped unobserved.)
+            outcome = LookupOutcome(None, ReasonCode.MISS_NO_DNS_OVERLAP)
+        else:
+            outcome = LookupOutcome(None, ReasonCode.MISS_NO_CANDIDATE)
+        self._note_lookup("coalesce", hostname, outcome)
+        return outcome
+
+    def _has_other_usable(self, hostname: str) -> bool:
+        """Any usable, non-anonymous connection with a different SNI."""
+        return any(
+            self._usable(facts)
+            and not facts.anonymous_partition
+            and facts.sni != hostname
+            for facts in self.connections
+        )
 
     def _scan_coalescable(
         self,
@@ -367,6 +467,8 @@ class ConnectionPool:
             port=self.port,
             origin_aware=self.origin_aware,
             tracer=self.tracer,
+            audit=self.audit,
+            page=self.page,
         )
         facts = ConnectionFacts(
             session=session,

@@ -58,14 +58,17 @@ def _export_trace(trace, trace_out, want_metrics: bool) -> None:
         print()
 
 
-def _crawl_cached(args, policy_name: str):
+def _crawl_cached(args, policy_name: str, force_audit: bool = False):
     """The shared crawl pipeline: shards + jobs + cache + telemetry.
 
-    Returns ``(config, shard_count, result)``.  Diagnostics (cache
-    status, shard progress) print to stderr.  With ``--trace`` or
-    ``--metrics`` the crawl runs live (a cache hit would skip the
-    simulation and produce no spans); the archives are still stored so
-    subsequent untraced runs hit the cache.
+    Returns ``(config, shard_count, result, trace)`` where ``trace``
+    is the merged :class:`~repro.telemetry.CrawlTrace` when the crawl
+    ran live (``--trace``/``--metrics``/``--audit`` or
+    ``force_audit``) and ``None`` on the cached path.  Diagnostics
+    (cache status, shard progress) print to stderr.  Live crawls
+    bypass cache reads (a cache hit would skip the simulation and
+    produce no spans or audit events); the archives are still stored
+    so subsequent untraced runs hit the cache.
     """
     from repro.dataset.cache import CrawlCache, cache_key, crawl_cached
     from repro.dataset.generator import DatasetConfig
@@ -82,12 +85,18 @@ def _crawl_cached(args, policy_name: str):
 
     trace_out = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_out or want_metrics:
+    audit_out = getattr(args, "audit", None)
+    want_audit = bool(audit_out) or force_audit
+    if trace_out or want_metrics or want_audit:
         crawler = ParallelCrawler(
             config, params=params, shard_count=shard_count,
             jobs=args.jobs,
         )
-        result, trace = crawler.crawl_traced(progress=_shard_progress)
+        result, trace = crawler.crawl_traced(
+            progress=_shard_progress,
+            trace=bool(trace_out) or want_metrics,
+            audit=want_audit,
+        )
         if cache is None:
             _diag("cache: disabled")
         else:
@@ -96,7 +105,12 @@ def _crawl_cached(args, policy_name: str):
             _diag(f"cache: bypassed for tracing, stored "
                   f"{cache.path_for(key)}")
         _export_trace(trace, trace_out, want_metrics)
-        return config, shard_count, result
+        if audit_out:
+            with open(audit_out, "w", encoding="utf-8") as handle:
+                handle.write(trace.audit_jsonl())
+            _diag(f"audit: {len(trace.audit)} events -> {audit_out} "
+                  "(JSONL)")
+        return config, shard_count, result, trace
 
     result, hit = crawl_cached(
         config,
@@ -113,7 +127,7 @@ def _crawl_cached(args, policy_name: str):
         key = cache_key(config, params, shard_count)
         status = "hit" if hit else "miss, stored"
         _diag(f"cache: {status} {cache.path_for(key)}")
-    return config, shard_count, result
+    return config, shard_count, result, None
 
 
 # -- crawl tables -------------------------------------------------------------
@@ -246,8 +260,33 @@ def _positive_int(value: str) -> int:
     return count
 
 
+def _nonnegative_int(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {count}")
+    return count
+
+
+#: ``--breakdown`` tokens, in render order (mirrors ``--tables``).
+BREAKDOWN_METRICS = ("dns", "tls", "validations")
+
+
+def _parse_breakdown(spec: str) -> List[str]:
+    if spec.strip().lower() == "all":
+        return list(BREAKDOWN_METRICS)
+    tokens = [token.strip() for token in spec.split(",") if token.strip()]
+    unknown = [token for token in tokens
+               if token not in BREAKDOWN_METRICS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown breakdown metric(s) {','.join(unknown)}; choose "
+            f"from {','.join(BREAKDOWN_METRICS)} or 'all'"
+        )
+    return [token for token in BREAKDOWN_METRICS if token in tokens]
+
+
 def cmd_crawl(args) -> int:
-    _, _, result = _crawl_cached(args, args.policy)
+    _, _, result, _ = _crawl_cached(args, args.policy)
     print(f"crawled {result.attempted} sites with the {args.policy} "
           f"policy; {result.success_count} succeeded")
     for token in args.tables:
@@ -260,7 +299,7 @@ def cmd_model(args) -> int:
     from repro.core import figure3, headline_reductions
     from repro.dataset.shard import plan_certificates_sharded
 
-    config, shard_count, result = _crawl_cached(args, "chromium")
+    config, shard_count, result, _ = _crawl_cached(args, "chromium")
     data = figure3(result.archives)
     print(render_cdf(
         "Figure 3 -- per-page DNS/TLS counts",
@@ -327,10 +366,54 @@ def cmd_deploy(args) -> int:
     return 0
 
 
+def cmd_explain(args) -> int:
+    from repro.audit.explain import render_explanation, render_taxonomy
+
+    if args.taxonomy:
+        print(render_taxonomy())
+        return 0
+    _, _, result, trace = _crawl_cached(
+        args, args.policy, force_audit=True
+    )
+    _diag(f"explain: {len(trace.audit)} audit events over "
+          f"{result.attempted} pages")
+    print(render_explanation(
+        result.archives,
+        trace.audit,
+        pages=args.pages,
+        metrics=args.breakdown,
+    ))
+    return 0
+
+
+def cmd_audit_diff(args) -> int:
+    from repro.audit.diff import (
+        diff_decisions,
+        load_audit_jsonl,
+        render_diff,
+    )
+    from repro.audit.reasons import UnknownReasonCode
+
+    try:
+        events_a = load_audit_jsonl(args.a)
+        events_b = load_audit_jsonl(args.b)
+    except UnknownReasonCode as error:
+        _diag(f"audit-diff: {error}")
+        return 2
+    except OSError as error:
+        _diag(f"audit-diff: {error}")
+        return 2
+    diff = diff_decisions(events_a, events_b)
+    _diag(f"audit-diff: {len(events_a)} events in {args.a}, "
+          f"{len(events_b)} in {args.b}")
+    print(render_diff(diff, label_a=str(args.a), label_b=str(args.b)))
+    return 0 if diff.clean else 1
+
+
 def cmd_privacy(args) -> int:
     from repro.core import compare_privacy
 
-    _, _, result = _crawl_cached(args, "chromium")
+    _, _, result, _ = _crawl_cached(args, "chromium")
     comparison = compare_privacy(result.successes)
     medians = comparison.median_signals()
     print(render_table(
@@ -384,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crawl with telemetry and print the "
                             "unified metrics summary; bypasses cache "
                             "reads")
+        p.add_argument("--audit", metavar="OUT", default=None,
+                       help="crawl with decision auditing and write "
+                            "the audit log to OUT (canonical JSONL); "
+                            "bypasses cache reads")
 
     crawl = sub.add_parser("crawl", help="crawl and characterize")
     common(crawl)
@@ -407,6 +494,36 @@ def build_parser() -> argparse.ArgumentParser:
     deploy.add_argument("--phase", choices=("ip", "origin"),
                         default="origin")
     deploy.set_defaults(func=cmd_deploy)
+
+    explain = sub.add_parser(
+        "explain",
+        help="annotated waterfalls + miss-reason gap breakdown",
+    )
+    common(explain)
+    crawl_pipeline(explain)
+    explain.add_argument("--policy", choices=sorted(POLICIES),
+                         default="chromium")
+    explain.add_argument("--pages", type=_nonnegative_int, default=None,
+                         help="render only the first N per-page "
+                              "waterfalls (0 = breakdown tables only; "
+                              "default: all pages)")
+    explain.add_argument("--breakdown", type=_parse_breakdown,
+                         default=list(BREAKDOWN_METRICS),
+                         help="comma-separated breakdown metrics "
+                              f"({','.join(BREAKDOWN_METRICS)} or "
+                              "'all'; default all)")
+    explain.add_argument("--taxonomy", action="store_true",
+                         help="print the reason-code taxonomy table "
+                              "and exit (no crawl)")
+    explain.set_defaults(func=cmd_explain)
+
+    audit_diff = sub.add_parser(
+        "audit-diff",
+        help="compare two audit JSONL exports decision-by-decision",
+    )
+    audit_diff.add_argument("a", help="baseline audit JSONL")
+    audit_diff.add_argument("b", help="comparison audit JSONL")
+    audit_diff.set_defaults(func=cmd_audit_diff)
 
     privacy = sub.add_parser("privacy", help="§6.2 exposure analysis")
     common(privacy)

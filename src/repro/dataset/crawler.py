@@ -105,6 +105,7 @@ class Crawler:
         self.resolver = world.make_resolver(median_latency_ms=dns_latency_ms)
         if telemetry is not None:
             self.resolver.tracer = telemetry.tracer
+            self.resolver.audit = telemetry.audit
         self.context = BrowserContext(
             network=world.network,
             client_host=world.client_host,

@@ -167,19 +167,24 @@ def _crawl_shard_json(payload: Tuple[ShardSpec, CrawlParams]) -> List[str]:
 
 
 def crawl_shard_traced(
-    spec: ShardSpec, params: CrawlParams
-) -> Tuple[CrawlResult, List[Span], List[dict]]:
+    spec: ShardSpec, params: CrawlParams,
+    trace: bool = True, audit: bool = True,
+) -> Tuple[CrawlResult, List[Span], List[dict], list]:
     """Crawl one shard with live telemetry.
 
-    Returns ``(result, spans, metrics snapshot)``; the spans carry the
-    shard's local ids and timestamps (its simulated clock starts at
-    zero) and are merged/renumbered by :class:`~repro.telemetry
-    .CrawlTrace` in shard order.  Tracing draws no randomness and
-    schedules no events, so the archives are identical to an untraced
-    :func:`crawl_shard` of the same spec.
+    Returns ``(result, spans, metrics snapshot, audit events)``; the
+    spans carry the shard's local ids and timestamps (its simulated
+    clock starts at zero) and are merged/renumbered by
+    :class:`~repro.telemetry.CrawlTrace` in shard order, as are the
+    audit events.  ``trace``/``audit`` toggle the collectors
+    independently; neither draws randomness nor schedules events, so
+    the archives are identical to an untraced :func:`crawl_shard` of
+    the same spec.
     """
     world = spec.build_world()
-    telemetry = Telemetry(clock=world.network.loop.now)
+    telemetry = Telemetry(
+        clock=world.network.loop.now, trace=trace, audit=audit
+    )
     crawler = Crawler(
         world,
         policy=policy_by_name(params.policy),
@@ -188,28 +193,39 @@ def crawl_shard_traced(
         seed=spec.crawler_seed(params.seed),
         telemetry=telemetry,
     )
-    shard_span = telemetry.tracer.begin(
-        "shard", category="crawler", index=spec.index,
-        sites=spec.site_count,
-    )
+    shard_span = None
+    if telemetry.tracer.enabled:
+        shard_span = telemetry.tracer.begin(
+            "shard", category="crawler", index=spec.index,
+            sites=spec.site_count,
+        )
     result = crawler.crawl()
-    telemetry.tracer.end(
-        shard_span, attempted=result.attempted,
-        succeeded=result.success_count,
+    if shard_span is not None:
+        telemetry.tracer.end(
+            shard_span, attempted=result.attempted,
+            succeeded=result.success_count,
+        )
+    return (
+        result,
+        telemetry.tracer.spans,
+        telemetry.metrics.snapshot(),
+        telemetry.audit.events,
     )
-    return result, telemetry.tracer.spans, telemetry.metrics.snapshot()
 
 
 def _crawl_shard_traced_json(
-    payload: Tuple[ShardSpec, CrawlParams]
-) -> Tuple[List[str], List[dict], List[dict]]:
+    payload: Tuple[ShardSpec, CrawlParams, bool, bool]
+) -> Tuple[List[str], List[dict], List[dict], List[dict]]:
     """Picklable traced worker entry: everything as JSON-able docs."""
-    spec, params = payload
-    result, spans, metrics = crawl_shard_traced(spec, params)
+    spec, params, trace, audit = payload
+    result, spans, metrics, events = crawl_shard_traced(
+        spec, params, trace=trace, audit=audit
+    )
     return (
         [archive.to_json() for archive in result.archives],
         [span.to_dict() for span in spans],
         metrics,
+        [event.to_dict() for event in events],
     )
 
 
@@ -280,43 +296,56 @@ class ParallelCrawler:
     def crawl_traced(
         self,
         progress: Optional[Callable[[int, int], None]] = None,
+        trace: bool = True,
+        audit: bool = True,
     ) -> Tuple[CrawlResult, CrawlTrace]:
-        """Crawl all shards with telemetry; merge spans and metrics.
+        """Crawl all shards with telemetry; merge spans, metrics, and
+        audit events.
 
         Shard results are merged in shard order with renumbered span
-        ids, so the trace is byte-identical whatever ``jobs`` ran it.
+        ids and audit sequence numbers, so the trace is byte-identical
+        whatever ``jobs`` ran it.
         """
+        from repro.audit.log import AuditEvent
+
         total = len(self.shards)
         merged = CrawlResult()
-        trace = CrawlTrace()
+        crawl_trace = CrawlTrace()
         if self.jobs == 1 or total == 1:
             for done, spec in enumerate(self.shards, start=1):
-                result, spans, metrics = crawl_shard_traced(
-                    spec, self.params
+                result, spans, metrics, events = crawl_shard_traced(
+                    spec, self.params, trace=trace, audit=audit
                 )
                 merged.archives.extend(result.archives)
-                trace.extend(spans, shard=spec.index)
-                trace.metrics.absorb(metrics)
+                crawl_trace.extend(spans, shard=spec.index)
+                crawl_trace.metrics.absorb(metrics)
+                crawl_trace.extend_audit(events, shard=spec.index)
                 if progress is not None:
                     progress(done, total)
-            return merged, trace
-        payloads = [(spec, self.params) for spec in self.shards]
+            return merged, crawl_trace
+        payloads = [
+            (spec, self.params, trace, audit) for spec in self.shards
+        ]
         workers = min(self.jobs, total)
         with _mp_context().Pool(processes=workers) as pool:
-            for done, (lines, span_docs, metrics) in enumerate(
-                pool.imap(_crawl_shard_traced_json, payloads), start=1
-            ):
+            for done, (lines, span_docs, metrics, event_docs) in \
+                    enumerate(pool.imap(_crawl_shard_traced_json,
+                                        payloads), start=1):
                 merged.archives.extend(
                     HarArchive.from_json(line) for line in lines
                 )
-                trace.extend(
+                crawl_trace.extend(
                     [Span.from_dict(doc) for doc in span_docs],
                     shard=self.shards[done - 1].index,
                 )
-                trace.metrics.absorb(metrics)
+                crawl_trace.metrics.absorb(metrics)
+                crawl_trace.extend_audit(
+                    [AuditEvent.from_dict(doc) for doc in event_docs],
+                    shard=self.shards[done - 1].index,
+                )
                 if progress is not None:
                     progress(done, total)
-        return merged, trace
+        return merged, crawl_trace
 
 
 def plan_certificates_sharded(

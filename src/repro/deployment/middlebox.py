@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.h2.frames import FRAME_HEADER_LEN, KNOWN_TYPES
 from repro.h2.tls_channel import REC_APPDATA, parse_records
 from repro.netsim.network import Host, Network
@@ -77,6 +79,13 @@ class _ConnectionInspector:
                     # The §6.7 bug: kill the TLS connection instead of
                     # ignoring the frame.
                     self.middlebox.stats.connections_torn_down += 1
+                    audit = self.middlebox.audit
+                    if audit.enabled:
+                        audit.record(
+                            "middlebox",
+                            ReasonCode.MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME,
+                            frame_type=frame_type,
+                        )
                     return False
         return True
 
@@ -100,6 +109,8 @@ class BuggyMiddlebox:
         #: Types the agent recognizes: RFC 7540 only -- no ORIGIN.
         self.known_types = frozenset(KNOWN_TYPES)
         self.stats = MiddleboxStats()
+        #: Decision-audit log; assign a live one to record teardowns.
+        self.audit = NULL_AUDIT
         self._installed = False
 
     def install(self) -> None:

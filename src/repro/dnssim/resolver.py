@@ -21,6 +21,8 @@ from repro.dnssim.records import (
     normalize_name,
 )
 from repro.dnssim.zone import Zone
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.netsim.events import EventLoop
 from repro.telemetry import NULL_TRACER, RegistryStats
 
@@ -150,6 +152,9 @@ class CachingResolver:
         #: Span tracer; assign a live one to trace query/cache-hit
         #: spans on the simulated clock (see :mod:`repro.telemetry`).
         self.tracer = NULL_TRACER
+        #: Decision-audit log; assign a live one to record how each
+        #: query was answered (see :mod:`repro.audit`).
+        self.audit = NULL_AUDIT
 
     # -- latency -----------------------------------------------------------
 
@@ -217,6 +222,9 @@ class CachingResolver:
             if span is not None:
                 tracer.end(span, cache_hit=True, wire=False,
                            addresses=len(cached.addresses))
+            if self.audit.enabled:
+                self.audit.record("dns", ReasonCode.DNS_CACHE_HIT,
+                                  hostname=name)
             self._loop.schedule(0.0, lambda: callback(cached))
             return
 
@@ -239,6 +247,10 @@ class CachingResolver:
                     encrypted_transport=answer.encrypted_transport,
                 ))
 
+            if self.audit.enabled:
+                self.audit.record("dns",
+                                  ReasonCode.DNS_JOINED_IN_FLIGHT,
+                                  hostname=name)
             waiters.append(joined)
             return
         self._in_flight[name] = []
@@ -247,6 +259,9 @@ class CachingResolver:
             self.stats.encrypted_queries += 1
         else:
             self.stats.plaintext_queries += 1
+        if self.audit.enabled:
+            self.audit.record("dns", ReasonCode.DNS_WIRE_QUERY,
+                              hostname=name)
         latency = self._draw_latency()
 
         def complete() -> None:
@@ -258,6 +273,9 @@ class CachingResolver:
                 if span is not None:
                     tracer.end(span, cache_hit=False, wire=True,
                                nxdomain=True, addresses=0)
+                if self.audit.enabled:
+                    self.audit.record("dns", ReasonCode.DNS_NXDOMAIN,
+                                      hostname=name)
                 empty = DnsAnswer(name=name, addresses=[], ttl=0.0,
                                   query_time_ms=latency)
                 if on_error is not None:

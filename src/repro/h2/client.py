@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.h2 import events as ev
 from repro.h2.connection import H2Connection, Role
 from repro.h2.errors import ErrorCode, H2ConnectionError
@@ -65,6 +67,8 @@ class H2ClientSession:
         origin_aware: bool = True,
         secondary_certs: bool = False,
         tracer=None,
+        audit=None,
+        page: str = "",
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -101,6 +105,8 @@ class H2ClientSession:
         self.responses: List[H2Response] = []
         self.misdirected: List[H2Response] = []
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.audit = audit if audit is not None else NULL_AUDIT
+        self.page = page
         self._conn_span = None
         self._stream_spans: Dict[int, object] = {}
 
@@ -391,12 +397,24 @@ class H2ClientSession:
                     parent=self._conn_span, sni=self.tls_config.sni,
                     origins=list(event.origins),
                 )
+            if self.audit.enabled:
+                self.audit.record(
+                    "h2", ReasonCode.H2_ORIGIN_FRAME_RECEIVED,
+                    page=self.page, hostname=self.tls_config.sni,
+                    origins=len(event.origins),
+                )
             if self.on_origin_received is not None:
                 self.on_origin_received(event.origins)
         elif isinstance(event, ev.SecondaryCertificateReceived):
             self._accept_secondary_certificate(event.chain_data)
         elif isinstance(event, ev.GoAwayReceived):
             if event.error_code is not ErrorCode.NO_ERROR:
+                if self.audit.enabled:
+                    self.audit.record(
+                        "h2", ReasonCode.H2_GOAWAY,
+                        page=self.page, hostname=self.tls_config.sni,
+                        error_code=event.error_code.name,
+                    )
                 self._fail(f"GOAWAY: {event.error_code.name}")
 
     def _accept_secondary_certificate(self, chain_data: bytes) -> None:
@@ -442,6 +460,12 @@ class H2ClientSession:
         self.responses.append(response)
         self._end_stream_span(stream_id, status=response.status)
         if response.status == 421:
+            if self.audit.enabled:
+                self.audit.record(
+                    "h2", ReasonCode.H2_MISDIRECTED_421,
+                    page=self.page, hostname=response.authority,
+                    path=response.path, sni=self.tls_config.sni,
+                )
             self.misdirected.append(response)
         pending.callback(response)
         self._drain_stream_queue()

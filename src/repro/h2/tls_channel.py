@@ -26,6 +26,8 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.audit.log import NULL_AUDIT
+from repro.audit.reasons import ReasonCode
 from repro.netsim.transport import Transport
 from repro.telemetry import NULL_TRACER
 from repro.tlspki.ca import CertificateAuthority
@@ -121,6 +123,8 @@ class TlsClientConfig:
     session_cache: Optional[dict] = None
     #: Span tracer (:mod:`repro.telemetry`); None means no tracing.
     tracer: Optional[object] = None
+    #: Decision-audit log (:mod:`repro.audit`); None means no audit.
+    audit: Optional[object] = None
 
 
 class TicketManager:
@@ -203,6 +207,8 @@ class TlsClientChannel(TlsChannel):
         self._offered_ticket: Optional[str] = None
         self.tracer = config.tracer if config.tracer is not None \
             else NULL_TRACER
+        self.audit = config.audit if config.audit is not None \
+            else NULL_AUDIT
         self._handshake_span = None
 
     def start(self) -> None:
@@ -280,6 +286,12 @@ class TlsClientChannel(TlsChannel):
             self._end_handshake_span(
                 ok=False, error=payload.decode("utf-8", "replace")
             )
+            if self.audit.enabled:
+                self.audit.record(
+                    "tls", ReasonCode.TLS_HANDSHAKE_FAILED,
+                    hostname=self.config.sni,
+                    error=payload.decode("utf-8", "replace"),
+                )
             if self.on_failed is not None:
                 self.on_failed(payload.decode("utf-8", "replace"))
             self.close()
@@ -289,6 +301,9 @@ class TlsClientChannel(TlsChannel):
 
     def _fail(self, reason: str) -> None:
         self._end_handshake_span(ok=False, error=reason)
+        if self.audit.enabled:
+            self.audit.record("tls", ReasonCode.TLS_HANDSHAKE_FAILED,
+                              hostname=self.config.sni, error=reason)
         super()._fail(reason)
 
     def _end_handshake_span(self, **attrs) -> None:
@@ -305,6 +320,14 @@ class TlsClientChannel(TlsChannel):
         self._end_handshake_span(
             ok=True, resumed=self.resumed, alpn=self.negotiated_alpn,
         )
+        if self.audit.enabled:
+            self.audit.record(
+                "tls",
+                ReasonCode.TLS_SESSION_RESUMED if self.resumed
+                else ReasonCode.TLS_FULL_HANDSHAKE,
+                hostname=self.config.sni,
+                alpn=self.negotiated_alpn or "",
+            )
         if self.on_established is not None:
             self.on_established()
 

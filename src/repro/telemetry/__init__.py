@@ -38,12 +38,24 @@ from repro.telemetry.tracer import (  # noqa: F401
 
 
 class Telemetry:
-    """Tracer + metrics for one simulated world (one clock)."""
+    """Tracer + metrics + decision audit for one simulated world.
+
+    ``trace`` and ``audit`` default to ``enabled`` but can be toggled
+    independently, so an audited crawl does not have to pay for span
+    collection (and vice versa).
+    """
 
     def __init__(self, clock: Callable[[], float],
-                 enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.tracer = Tracer(clock) if enabled else NULL_TRACER
+                 enabled: bool = True,
+                 trace: Optional[bool] = None,
+                 audit: Optional[bool] = None) -> None:
+        from repro.audit.log import NULL_AUDIT, AuditLog
+
+        trace_on = enabled if trace is None else trace
+        audit_on = enabled if audit is None else audit
+        self.enabled = trace_on or audit_on
+        self.tracer = Tracer(clock) if trace_on else NULL_TRACER
+        self.audit = AuditLog(clock) if audit_on else NULL_AUDIT
         self.metrics = MetricsRegistry()
 
 
@@ -55,12 +67,14 @@ NULL_TELEMETRY = Telemetry(clock=lambda: 0.0, enabled=False)
 class CrawlTrace:
     """Merged telemetry of a (possibly sharded, parallel) crawl.
 
-    Spans are merged in shard order with globally renumbered ids, so
-    the trace is identical whatever ``jobs`` count produced it.
+    Spans and audit events are merged in shard order with globally
+    renumbered ids, so the trace is identical whatever ``jobs`` count
+    produced it.
     """
 
     spans: List[Span] = field(default_factory=list)
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    audit: list = field(default_factory=list)
 
     def extend(self, spans: List[Span], shard: int) -> None:
         """Adopt one shard's spans: tag the shard, renumber ids after
@@ -77,12 +91,26 @@ class CrawlTrace:
             span.shard = shard
             self.spans.append(span)
 
+    def extend_audit(self, events, shard: int) -> None:
+        """Adopt one shard's audit events: tag the shard, renumber the
+        sequence after the ones already merged."""
+        offset = len(self.audit)
+        for event in events:
+            event.seq += offset
+            event.shard = shard
+            self.audit.append(event)
+
     # -- export -----------------------------------------------------------
 
     def to_jsonl(self) -> str:
         from repro.telemetry.exporters import spans_to_jsonl
 
         return spans_to_jsonl(self.spans)
+
+    def audit_jsonl(self) -> str:
+        from repro.audit.log import events_to_jsonl
+
+        return events_to_jsonl(self.audit)
 
     def write_chrome_trace(self, path) -> int:
         from repro.telemetry.exporters import write_chrome_trace

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.audit import ReasonCode
 from repro.browser.policy import (
     ChromiumPolicy,
     ConnectionFacts,
@@ -57,42 +58,57 @@ class TestFindSameHost:
     def test_finds_h2_session(self):
         pool = make_pool()
         facts = add(pool, "www.a.com")
-        assert pool.find_same_host("www.a.com") is facts
+        outcome = pool.find_same_host("www.a.com")
+        assert outcome.facts is facts
+        assert outcome.reason is ReasonCode.POOL_HIT_SAME_HOST
 
     def test_ignores_other_hosts(self):
         pool = make_pool()
         add(pool, "www.a.com")
-        assert pool.find_same_host("www.b.com") is None
+        outcome = pool.find_same_host("www.b.com")
+        assert not outcome
+        assert outcome.facts is None
+        assert outcome.reason is ReasonCode.MISS_NO_CONNECTION
 
     def test_ignores_closed_sessions(self):
         pool = make_pool()
         facts = add(pool, "www.a.com")
         facts.session.closed = True
-        assert pool.find_same_host("www.a.com") is None
+        outcome = pool.find_same_host("www.a.com")
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_CLOSED_STALE
 
     def test_anonymous_partition_isolated(self):
         pool = make_pool()
         add(pool, "www.a.com", anonymous=False)
-        assert pool.find_same_host("www.a.com", anonymous=True) is None
+        outcome = pool.find_same_host("www.a.com", anonymous=True)
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_ANONYMOUS_PARTITION
 
     def test_busy_h1_skipped_until_cap(self):
         pool = make_pool()
         add(pool, "www.a.com", multiplex=False, busy=True)
         # One busy H1 connection: the caller should open another.
-        assert pool.find_same_host("www.a.com") is None
+        outcome = pool.find_same_host("www.a.com")
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_CANNOT_MULTIPLEX
 
     def test_idle_h1_preferred(self):
         pool = make_pool()
         add(pool, "www.a.com", multiplex=False, busy=True)
         idle = add(pool, "www.a.com", multiplex=False, busy=False)
-        assert pool.find_same_host("www.a.com") is idle
+        outcome = pool.find_same_host("www.a.com")
+        assert outcome.facts is idle
+        assert outcome.reason is ReasonCode.POOL_HIT_H1_IDLE
 
     def test_h1_cap_forces_reuse(self):
         pool = make_pool()
         for _ in range(MAX_H1_CONNECTIONS_PER_HOST):
             add(pool, "www.a.com", multiplex=False, busy=True)
         # All busy and at the cap: queue on an existing connection.
-        assert pool.find_same_host("www.a.com") is not None
+        outcome = pool.find_same_host("www.a.com")
+        assert outcome.facts is not None
+        assert outcome.reason is ReasonCode.POOL_HIT_H1_CAP
 
 
 class TestFindCoalescable:
@@ -101,35 +117,39 @@ class TestFindCoalescable:
         facts = add(pool, "www.a.com",
                     san=("www.a.com", "cdn.a.com"),
                     origins=("cdn.a.com",))
-        found = pool.find_coalescable("cdn.a.com", ["10.9.9.9"])
-        assert found is facts
+        outcome = pool.find_coalescable("cdn.a.com", ["10.9.9.9"])
+        assert outcome.facts is facts
+        assert outcome.reason is ReasonCode.POOL_HIT_ORIGIN_FRAME
 
     def test_same_host_excluded(self):
         pool = make_pool()
         add(pool, "www.a.com", san=("www.a.com",))
-        assert pool.find_coalescable("www.a.com", ["10.0.0.1"]) is None
+        assert not pool.find_coalescable("www.a.com", ["10.0.0.1"])
 
     def test_anonymous_requests_never_coalesce(self):
         pool = make_pool()
         add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
             origins=("cdn.a.com",))
-        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"],
-                                     anonymous=True) is None
+        outcome = pool.find_coalescable("cdn.a.com", ["10.0.0.1"],
+                                        anonymous=True)
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_ANONYMOUS_PARTITION
 
     def test_anonymous_connections_never_donate(self):
         pool = make_pool()
         add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
             origins=("cdn.a.com",), anonymous=True)
-        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+        assert not pool.find_coalescable("cdn.a.com", ["10.0.0.1"])
 
     def test_ip_overlap_path(self):
         pool = make_pool()
         facts = add(pool, "www.a.com",
                     san=("www.a.com", "shard.a.com"),
                     available=("10.0.0.1", "10.0.0.2"))
-        found = pool.find_coalescable("shard.a.com",
-                                      ["10.0.0.2", "10.0.0.3"])
-        assert found is facts
+        outcome = pool.find_coalescable("shard.a.com",
+                                        ["10.0.0.2", "10.0.0.3"])
+        assert outcome.facts is facts
+        assert outcome.reason is ReasonCode.POOL_HIT_IP_SAN
 
 
 class TestIndexes:
@@ -152,7 +172,7 @@ class TestIndexes:
             add(pool, f"host{index:02d}.example")
         target = add(pool, "www.a.com")
         found = pool.find_same_host("www.a.com")
-        assert found is target
+        assert found.facts is target
         # The lookup examined only the target's bucket, not the pool.
         assert pool.stats.candidates_examined == 1
         assert pool.stats.indexed_lookups == 1
@@ -165,7 +185,7 @@ class TestIndexes:
         target = add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
                      available=("10.9.9.9",))
         found = pool.find_coalescable("cdn.a.com", ["10.9.9.9"])
-        assert found is target
+        assert found.facts is target
         assert pool.stats.indexed_lookups == 1
         assert pool.stats.full_scans == 0
         assert pool.stats.candidates_examined == 1
@@ -179,13 +199,15 @@ class TestIndexes:
         # ORIGIN-frame reuse needs no IP overlap, so the IP index
         # cannot bound the candidate set.
         found = pool.find_coalescable("cdn.a.com", ["10.200.0.1"])
-        assert found is target
+        assert found.facts is target
         assert pool.stats.full_scans == 1
 
     def test_no_coalescing_policy_skips_lookup_entirely(self):
         pool = make_pool(policy=NoCoalescingPolicy())
         add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"))
-        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+        outcome = pool.find_coalescable("cdn.a.com", ["10.0.0.1"])
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_POLICY_FORBIDS
         assert pool.stats.candidates_examined == 0
 
     @pytest.mark.parametrize("policy_factory", [
@@ -213,8 +235,9 @@ class TestIndexes:
         for candidate_ips in (["10.0.0.3"], ["10.0.0.2", "10.0.0.4"],
                               ["10.99.0.1"], []):
             expected = pool._scan_coalescable("cdn.x.com", candidate_ips)
-            assert pool.find_coalescable("cdn.x.com", candidate_ips) \
-                is expected
+            assert pool.find_coalescable(
+                "cdn.x.com", candidate_ips
+            ).facts is expected
 
 
 class TestPruning:
@@ -224,7 +247,7 @@ class TestPruning:
         pool = make_pool()
         facts = add(pool, "www.a.com")
         facts.session.closed = True
-        assert pool.find_same_host("www.a.com") is None
+        assert not pool.find_same_host("www.a.com")
         assert len(pool.connections) == 0
         assert pool.connections.for_host("www.a.com") == []
         assert pool.stats.pruned_connections == 1
@@ -234,7 +257,7 @@ class TestPruning:
         facts = add(pool, "www.a.com", san=("www.a.com", "cdn.a.com"),
                     origins=("cdn.a.com",))
         facts.session.failed = "handshake failure"
-        assert pool.find_coalescable("cdn.a.com", ["10.0.0.1"]) is None
+        assert not pool.find_coalescable("cdn.a.com", ["10.0.0.1"])
         assert len(pool.connections) == 0
         assert "10.0.0.1" not in pool.connections.by_ip
 
@@ -263,6 +286,6 @@ class TestPruning:
         first = add(pool, "www.a.com")
         second = add(pool, "www.a.com")
         first.session.closed = True
-        assert pool.find_same_host("www.a.com") is second
+        assert pool.find_same_host("www.a.com").facts is second
         # Only the live connection remains in the bucket.
         assert pool.connections.for_host("www.a.com") == [second]

@@ -64,7 +64,7 @@ class TestTracedCrawl:
 
     def test_single_shard_traced_matches_untraced(self):
         spec = plan_shards(CONFIG, 2)[0]
-        traced_result, spans, _ = crawl_shard_traced(spec, PARAMS)
+        traced_result, spans, _, _ = crawl_shard_traced(spec, PARAMS)
         plain = crawl_shard(spec, PARAMS)
         assert [a.to_json() for a in traced_result.archives] \
             == [a.to_json() for a in plain.archives]
