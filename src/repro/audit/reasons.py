@@ -67,6 +67,14 @@ class ReasonCode(str, Enum):
     TLS_FULL_HANDSHAKE = "TLS_FULL_HANDSHAKE"
     TLS_SESSION_RESUMED = "TLS_SESSION_RESUMED"
     TLS_HANDSHAKE_FAILED = "TLS_HANDSHAKE_FAILED"
+    TLS_ALPN_FALLBACK = "TLS_ALPN_FALLBACK"
+
+    # -- protocol discovery and QUIC (h3) decisions -----------------------
+    ALT_SVC_UPGRADE = "ALT_SVC_UPGRADE"
+    HTTPS_RR_H3 = "HTTPS_RR_H3"
+    QUIC_HANDSHAKE_1RTT = "QUIC_HANDSHAKE_1RTT"
+    ZERO_RTT_RESUMED = "ZERO_RTT_RESUMED"
+    CROSS_HOST_TICKET = "CROSS_HOST_TICKET"
 
     # -- HTTP/2-layer decisions -------------------------------------------
     H2_ORIGIN_FRAME_RECEIVED = "H2_ORIGIN_FRAME_RECEIVED"
@@ -194,6 +202,23 @@ REASON_DESCRIPTIONS: Dict[ReasonCode, str] = {
         "TLS 1.3 session resumption; certificate flight skipped",
     ReasonCode.TLS_HANDSHAKE_FAILED:
         "handshake failed (validation error or peer alert)",
+    ReasonCode.TLS_ALPN_FALLBACK:
+        "handshake produced no ALPN result; h2 was assumed by prior "
+        "knowledge rather than negotiated",
+    ReasonCode.ALT_SVC_UPGRADE:
+        "new h3 connection opened because the server advertised "
+        "Alt-Svc; same-host h2 reuse deliberately skipped",
+    ReasonCode.HTTPS_RR_H3:
+        "DNS HTTPS/SVCB record advertised h3; first contact went "
+        "straight to QUIC",
+    ReasonCode.QUIC_HANDSHAKE_1RTT:
+        "full QUIC handshake: combined transport+TLS in one round "
+        "trip",
+    ReasonCode.ZERO_RTT_RESUMED:
+        "QUIC 0-RTT resumption; the request rode the first flight",
+    ReasonCode.CROSS_HOST_TICKET:
+        "QUIC session ticket issued for another hostname was accepted "
+        "because the certificate covers this one (Sy et al.)",
     ReasonCode.H2_ORIGIN_FRAME_RECEIVED:
         "server advertised an ORIGIN frame for this connection",
     ReasonCode.H2_GOAWAY:

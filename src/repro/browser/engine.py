@@ -22,12 +22,11 @@ from repro.browser.cache import BrowserCache
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.browser.pool import ConnectionPool
 from repro.dnssim.resolver import CachingResolver
-from repro.h2.client import H2Response
-from repro.h2.tls_channel import TlsClientConfig
 from repro.netsim.network import Host, Network
 from repro.telemetry import NULL_TRACER, Telemetry
 from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.validation import TrustStore
+from repro.transport.tcp import DEFAULT_ALPN_OFFER, TcpTlsDialer
 from repro.web.asdb import AsDatabase
 from repro.web.har import (
     HarArchive,
@@ -68,6 +67,10 @@ class BrowserContext:
     #: Crawl-level telemetry (tracer + metrics); ``None`` disables
     #: tracing with literal zero overhead on the fetch paths.
     telemetry: Optional[Telemetry] = None
+    #: Protocols this browser is willing to speak.  ``("h2",)`` is the
+    #: pre-h3 browser; ``("h2", "h3")`` adds the QUIC dialer, HTTPS
+    #: DNS-record awareness, and Alt-Svc upgrades.
+    alpn: Sequence[str] = ("h2",)
 
     @property
     def tracer(self):
@@ -81,19 +84,9 @@ class BrowserContext:
             return self.telemetry.audit
         return NULL_AUDIT
 
-    def tls_config(self, sni: str) -> TlsClientConfig:
-        tracer = self.tracer
-        audit = self.audit
-        return TlsClientConfig(
-            sni=sni,
-            trust_store=self.trust_store,
-            authorities=self.authorities,
-            now=self.network.loop.now,
-            tls13=self.tls13,
-            session_cache=self.tls_session_cache,
-            tracer=tracer if tracer.enabled else None,
-            audit=audit if audit.enabled else None,
-        )
+    @property
+    def h3_enabled(self) -> bool:
+        return "h3" in tuple(self.alpn)
 
 
 class _FetchState:
@@ -114,6 +107,12 @@ class _FetchState:
             dns=NOT_APPLICABLE, connect=NOT_APPLICABLE, ssl=NOT_APPLICABLE
         )
         self.dns_addresses: List[str] = []
+        #: ALPN protocols advertised by the hostname's HTTPS DNS
+        #: record, when the resolver queried for one.
+        self.https_alpn: tuple = ()
+        #: Set when an Alt-Svc advertisement made this fetch skip
+        #: same-host h2 reuse in favour of a new h3 connection.
+        self.h3_upgrade = False
         self.coalesced = False
         self.retried_after_421 = False
         self.facts: Optional[ConnectionFacts] = None
@@ -144,19 +143,57 @@ class PageLoad:
         self.context = engine.context
         self.page = page
         self.on_complete = on_complete
-        self.pool = ConnectionPool(
-            network=self.context.network,
-            client_host=self.context.client_host,
-            policy=self.context.policy,
-            tls_config_factory=self.context.tls_config,
-            origin_aware=getattr(
-                self.context.policy, "origin_frames", True
-            ) or not self.context.policy.requires_dns_before_reuse,
-            port=self.context.port,
-            tracer=self.context.tracer,
-            audit=self.context.audit,
+        context = self.context
+        origin_aware = getattr(
+            context.policy, "origin_frames", True
+        ) or not context.policy.requires_dns_before_reuse
+        offer = DEFAULT_ALPN_OFFER
+        if context.h3_enabled:
+            # Signals upgrade interest: h3-capable servers answer TCP
+            # requests from this offer with an Alt-Svc header.
+            offer = DEFAULT_ALPN_OFFER + ("h3",)
+        self.tcp_dialer = TcpTlsDialer(
+            context.network,
+            context.client_host,
+            context.trust_store,
+            context.authorities,
+            tls13=context.tls13,
+            session_cache=context.tls_session_cache,
+            alpn_offer=offer,
+            origin_aware=origin_aware,
+            port=context.port,
+            tracer=context.tracer,
+            audit=context.audit,
             page=self.page.url,
         )
+        self.quic_dialer = None
+        if context.h3_enabled:
+            from repro.transport.quicsim import QuicDialer
+
+            self.quic_dialer = QuicDialer(
+                context.network,
+                context.client_host,
+                context.trust_store,
+                context.authorities,
+                ticket_cache=engine.quic_tickets,
+                origin_aware=origin_aware,
+                port=context.port,
+                tracer=context.tracer,
+                audit=context.audit,
+                page=self.page.url,
+            )
+        self.pool = ConnectionPool(
+            policy=context.policy,
+            dialer=self.tcp_dialer,
+            prefer_h3=self.quic_dialer is not None,
+            tracer=context.tracer,
+            audit=context.audit,
+            page=self.page.url,
+        )
+        if self.quic_dialer is not None:
+            # quic.* counters land in the pool's registry (absorbed
+            # into the crawl metrics), created lazily on first use.
+            self.quic_dialer.metrics = self.pool.stats.registry
         self.entries: List[HarEntry] = []
         self.outstanding = 0
         self.extra_tls = 0
@@ -214,8 +251,23 @@ class PageLoad:
         )
         state.reason = same_host.reason
         if same_host:
+            facts = same_host.facts
+            if (
+                self.quic_dialer is not None
+                and not anonymous
+                and facts.transport_name != "quic"
+                and resource.hostname in self.engine.alt_svc_h3
+            ):
+                # The server advertised Alt-Svc h3: deliberately skip
+                # the h2 connection and dial QUIC to the same address
+                # (no DNS; RFC 7838 reuses the resolved endpoint).
+                state.reason = ReasonCode.ALT_SVC_UPGRADE
+                state.h3_upgrade = True
+                state.dns_addresses = [facts.connected_ip]
+                self._open_and_request(state, anonymous)
+                return
             self.pool.note_same_host_reuse()
-            self._reuse(state, same_host.facts, anonymous)
+            self._reuse(state, facts, anonymous)
             return
         if anonymous:
             # The partition, not the pool's contents, is what forbids
@@ -236,7 +288,6 @@ class PageLoad:
 
     def _fetch_plain(self, state: _FetchState) -> None:
         """Cleartext http:// subresource: DNS, raw TCP, HTTP/1.1."""
-        from repro.h2.http1 import H1ClientProtocol
 
         def on_answer(answer) -> None:
             if answer.empty:
@@ -251,10 +302,9 @@ class PageLoad:
 
             def on_connect(transport) -> None:
                 state.timings.connect = self.loop.now() - connect_started
-                protocol = H1ClientProtocol(transport.send, self.loop.now)
-                transport.on_data = protocol.on_app_data
+                protocol = self.tcp_dialer.plain_protocol(transport)
 
-                def on_response(response: H2Response) -> None:
+                def on_response(response) -> None:
                     self._record_success(state, response,
                                          plain_http=True)
                     transport.close()
@@ -285,6 +335,7 @@ class PageLoad:
                 NOT_APPLICABLE if answer.from_cache else answer.query_time_ms
             )
             state.dns_addresses = list(answer.addresses)
+            state.https_alpn = tuple(getattr(answer, "https_alpn", ()))
             # Cross-host coalescing after the (browser-mandated) query.
             if state.resource is not None and not anonymous:
                 outcome = self.pool.find_coalescable(
@@ -301,6 +352,34 @@ class PageLoad:
 
         self.context.resolver.resolve(state.hostname, on_answer)
 
+    def _pick_dialer(self, state: _FetchState):
+        """The dialer for a new connection; ``None`` means the pool's
+        default (tcp-tls).  QUIC is chosen on an Alt-Svc upgrade, an
+        HTTPS DNS record advertising h3, or a cached cross-host-valid
+        session ticket."""
+        quic = self.quic_dialer
+        if quic is None:
+            return None
+        if state.h3_upgrade:
+            return quic
+        if "h3" in state.https_alpn:
+            audit = self.context.audit
+            if audit.enabled:
+                # Discovery event: first contact went straight to
+                # QUIC because DNS said it could.  The decision
+                # reason stays whatever the pool lookup produced.
+                audit.record(
+                    "h3", ReasonCode.HTTPS_RR_H3,
+                    page=self.page.url, hostname=state.hostname,
+                    path=state.path,
+                )
+            return quic
+        if state.hostname in self.engine.alt_svc_h3:
+            return quic
+        if quic.has_ticket_for(state.hostname):
+            return quic
+        return None
+
     def _open_and_request(self, state: _FetchState, anonymous: bool) -> None:
         connect_started = self.loop.now()
         tls13 = self.context.tls13
@@ -311,6 +390,7 @@ class PageLoad:
             and self.context.rng.random() < self.context.tls12_rate
         ):
             tls13 = False
+        dialer = self._pick_dialer(state)
         facts = self.pool.open_connection(
             hostname=state.hostname,
             ip=state.dns_addresses[0],
@@ -319,6 +399,7 @@ class PageLoad:
             on_failed=lambda reason: self._record_failure(state, reason),
             anonymous=anonymous,
             tls13=tls13,
+            dialer=dialer,
         )
 
         def on_ready(facts: ConnectionFacts) -> None:
@@ -331,10 +412,10 @@ class PageLoad:
             )
             self._issue(state, facts)
 
-        self._maybe_race_duplicate(state, anonymous)
+        self._maybe_race_duplicate(state, anonymous, dialer)
 
     def _maybe_race_duplicate(
-        self, state: _FetchState, anonymous: bool
+        self, state: _FetchState, anonymous: bool, dialer=None
     ) -> None:
         """Speculative duplicate connection (no extra DNS; §4.2)."""
         rng = self.context.rng
@@ -357,6 +438,7 @@ class PageLoad:
             on_ready=lambda f: None,
             on_failed=lambda reason: None,
             anonymous=anonymous,
+            dialer=dialer,
         )
 
     def _reuse(
@@ -388,7 +470,7 @@ class PageLoad:
         if self.context.user_agent:
             referer.append(("user-agent", self.context.user_agent))
 
-        def on_response(response: H2Response) -> None:
+        def on_response(response) -> None:
             if response.status == 421 and not state.retried_after_421:
                 # Misdirected: retry on a dedicated connection, keeping
                 # the accumulated penalty in the same HAR entry.
@@ -491,9 +573,17 @@ class PageLoad:
         )
 
     def _record_success(
-        self, state: _FetchState, response: H2Response,
+        self, state: _FetchState, response,
         plain_http: bool = False,
     ) -> None:
+        if self.quic_dialer is not None and not plain_http:
+            # Remember Alt-Svc advertisements so the *next* fetch to
+            # this hostname upgrades to h3 (RFC 7838 semantics: the
+            # current response already arrived over the old protocol).
+            for name, value in response.headers:
+                if name == "alt-svc" and "h3" in value:
+                    self.engine.alt_svc_h3.add(state.hostname)
+                    break
         state.timings.wait = max(
             0.0, response.headers_at - response.sent_at
         )
@@ -622,6 +712,12 @@ class BrowserEngine:
         self.context = context
         self.cache = BrowserCache(enabled=context.cache_enabled)
         self.loads: List[PageLoad] = []
+        #: Hostnames whose responses advertised ``Alt-Svc: h3``;
+        #: subsequent fetches to them dial QUIC.
+        self.alt_svc_h3: set = set()
+        #: QUIC session tickets (cross-hostname validity), shared by
+        #: every page load in one browser session.
+        self.quic_tickets: List[dict] = []
 
     def load(
         self, page: WebPage, on_complete: Callable[[HarArchive], None]
@@ -652,3 +748,5 @@ class BrowserEngine:
         self.context.resolver.flush_cache()
         if self.context.tls_session_cache is not None:
             self.context.tls_session_cache.clear()
+        self.alt_svc_h3.clear()
+        self.quic_tickets.clear()

@@ -13,13 +13,21 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Optional, Sequence
 
 from repro.audit.reasons import ReasonCode
+from repro.transport.base import Endpoint, SessionCapabilities, capabilities_of
 
 
 @dataclass
 class ConnectionFacts:
-    """What a policy may inspect about an open connection."""
+    """What a policy may inspect about an open connection.
 
-    session: object  # H2ClientSession-compatible
+    Policies reason over the session's *capabilities* -- the
+    protocol-agnostic record of what the negotiated session can do --
+    never over concrete session classes, so a QUIC session and a
+    TLS-over-TCP session with the same capabilities are
+    interchangeable to every policy.
+    """
+
+    session: object  # repro.transport.base.Session-compatible
     sni: str
     connected_ip: str
     #: All addresses in the DNS answer that produced this connection.
@@ -28,6 +36,8 @@ class ConnectionFacts:
     #: Insertion order within the owning pool; assigned by the pool's
     #: registry so indexed lookups preserve first-match semantics.
     pool_seq: int = -1
+    #: Where the session was dialed to; ``None`` for bare test doubles.
+    endpoint: Optional[Endpoint] = None
 
     def certificate_covers(self, hostname: str) -> bool:
         return self.session.certificate_covers(hostname)
@@ -36,8 +46,16 @@ class ConnectionFacts:
         return self.session.origin_set_covers(hostname)
 
     @property
+    def capabilities(self) -> SessionCapabilities:
+        return capabilities_of(self.session)
+
+    @property
+    def transport_name(self) -> str:
+        return self.endpoint.transport if self.endpoint else "tcp-tls"
+
+    @property
     def can_multiplex(self) -> bool:
-        return getattr(self.session, "can_multiplex", True)
+        return self.capabilities.can_multiplex
 
 
 class CoalescingPolicy:
@@ -138,11 +156,16 @@ class FirefoxPolicy(CoalescingPolicy):
             self.name = "firefox+origin"
 
     def explain(self, facts, hostname, dns_addresses):
-        if not facts.can_multiplex:
+        capabilities = facts.capabilities
+        if not capabilities.can_multiplex:
             return ReasonCode.MISS_CANNOT_MULTIPLEX
         if not facts.certificate_covers(hostname):
             return ReasonCode.MISS_SAN_MISMATCH
-        if self.origin_frames and facts.origin_set_covers(hostname):
+        if (
+            self.origin_frames
+            and capabilities.supports_origin_frame
+            and facts.origin_set_covers(hostname)
+        ):
             return ReasonCode.POOL_HIT_ORIGIN_FRAME
         if facts.available_set.intersection(dns_addresses):
             return ReasonCode.POOL_HIT_IP_SAN
@@ -164,11 +187,15 @@ class IdealOriginPolicy(CoalescingPolicy):
     requires_dns_before_reuse = False
 
     def explain(self, facts, hostname, dns_addresses):
-        if not facts.can_multiplex:
+        capabilities = facts.capabilities
+        if not capabilities.can_multiplex:
             return ReasonCode.MISS_CANNOT_MULTIPLEX
         if not facts.certificate_covers(hostname):
             return ReasonCode.MISS_SAN_MISMATCH
-        if facts.origin_set_covers(hostname):
+        if (
+            capabilities.supports_origin_frame
+            and facts.origin_set_covers(hostname)
+        ):
             return ReasonCode.POOL_HIT_ORIGIN_FRAME
         if facts.available_set.intersection(dns_addresses):
             return ReasonCode.POOL_HIT_IP_SAN

@@ -45,10 +45,8 @@ from typing import (
 from repro.audit.log import NULL_AUDIT
 from repro.audit.reasons import ReasonCode
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
-from repro.h2.client import H2ClientSession
-from repro.h2.tls_channel import TlsClientConfig
-from repro.netsim.network import Host, Network
 from repro.telemetry import NULL_TRACER, RegistryStats
+from repro.transport.base import Dialer
 
 #: Browsers cap parallel HTTP/1.1 connections per host; 6 is the
 #: long-standing Chromium/Firefox default.
@@ -126,6 +124,10 @@ class ConnectionRegistry(List[ConnectionFacts]):
         super().__init__()
         self.by_sni: Dict[str, List[ConnectionFacts]] = {}
         self.by_ip: Dict[str, List[ConnectionFacts]] = {}
+        #: (sni, transport-name) -> connections; the endpoint index
+        #: that lets callers distinguish an h3 (quic) entry from a
+        #: tcp-tls one for the same hostname.
+        self.by_endpoint: Dict[Tuple[str, str], List[ConnectionFacts]] = {}
         self._next_seq = 0
         for facts in items:
             self.append(facts)
@@ -137,6 +139,9 @@ class ConnectionRegistry(List[ConnectionFacts]):
         self._next_seq += 1
         super().append(facts)
         self.by_sni.setdefault(facts.sni, []).append(facts)
+        self.by_endpoint.setdefault(
+            (facts.sni, facts.transport_name), []
+        ).append(facts)
         for ip in self._addresses_of(facts):
             self.by_ip.setdefault(ip, []).append(facts)
 
@@ -155,12 +160,18 @@ class ConnectionRegistry(List[ConnectionFacts]):
         super().clear()
         self.by_sni.clear()
         self.by_ip.clear()
+        self.by_endpoint.clear()
 
     def _unindex(self, facts: ConnectionFacts) -> None:
         bucket = self.by_sni.get(facts.sni, [])
         self._remove_identity(bucket, facts)
         if not bucket:
             self.by_sni.pop(facts.sni, None)
+        endpoint_key = (facts.sni, facts.transport_name)
+        bucket = self.by_endpoint.get(endpoint_key, [])
+        self._remove_identity(bucket, facts)
+        if not bucket:
+            self.by_endpoint.pop(endpoint_key, None)
         for ip in self._addresses_of(facts):
             bucket = self.by_ip.get(ip, [])
             self._remove_identity(bucket, facts)
@@ -188,6 +199,13 @@ class ConnectionRegistry(List[ConnectionFacts]):
         """Connections with this SNI, in pool insertion order."""
         return self.by_sni.get(hostname, [])
 
+    def for_endpoint(
+        self, hostname: str, transport: str
+    ) -> List[ConnectionFacts]:
+        """Connections with this SNI on this transport, in pool
+        insertion order."""
+        return self.by_endpoint.get((hostname, transport), [])
+
     def candidates_for_ips(
         self, addresses: Sequence[str]
     ) -> List[ConnectionFacts]:
@@ -205,26 +223,34 @@ class ConnectionRegistry(List[ConnectionFacts]):
 
 
 class ConnectionPool:
-    """Session registry plus policy-driven reuse decisions."""
+    """Session registry plus policy-driven reuse decisions.
+
+    The pool is protocol-agnostic: it opens sessions through a
+    :class:`~repro.transport.base.Dialer` and keys its decisions on
+    each session's :class:`~repro.transport.base.SessionCapabilities`,
+    never on concrete session classes.  ``dialer`` is the default used
+    by :meth:`open_connection`; callers may pass a different one per
+    call (the engine does this to open QUIC connections after an
+    Alt-Svc or HTTPS-record discovery).
+    """
 
     def __init__(
         self,
-        network: Network,
-        client_host: Host,
         policy: CoalescingPolicy,
-        tls_config_factory: Callable[[str], TlsClientConfig],
-        origin_aware: bool = True,
-        port: int = 443,
+        dialer: Optional[Dialer] = None,
+        prefer_h3: bool = False,
         tracer=None,
         audit=None,
         page: str = "",
     ) -> None:
-        self.network = network
-        self.client_host = client_host
         self.policy = policy
-        self.tls_config_factory = tls_config_factory
-        self.origin_aware = origin_aware
-        self.port = port
+        self.dialer = dialer
+        #: When True, same-host lookups keep scanning past a usable
+        #: tcp-tls entry in case a quic one exists for the hostname
+        #: (a browser that has upgraded a host prefers its h3
+        #: connection).  Off by default so h2-only crawls examine
+        #: exactly the candidates they did pre-refactor.
+        self.prefer_h3 = prefer_h3
         self.connections = ConnectionRegistry()
         self.stats = PoolStats()
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -295,8 +321,17 @@ class ConnectionPool:
                 continue
             self.stats.candidates_examined += 1
             if facts.can_multiplex:
-                found = facts
-                break
+                if not self.prefer_h3:
+                    found = facts
+                    break
+                if facts.transport_name == "quic":
+                    found = facts
+                    break
+                if found is None:
+                    # Usable, but keep scanning in case the host was
+                    # upgraded to h3 after this entry was opened.
+                    found = facts
+                continue
             if at_cap is None:
                 at_cap = facts
             h1_count += 1
@@ -454,28 +489,24 @@ class ConnectionPool:
         on_failed: Callable[[str], None],
         anonymous: bool = False,
         tls13: Optional[bool] = None,
+        dialer: Optional[Dialer] = None,
     ) -> ConnectionFacts:
-        """Open a new connection to ``ip`` with SNI ``hostname``."""
-        tls_config = self.tls_config_factory(hostname)
-        if tls13 is not None:
-            tls_config.tls13 = tls13
-        session = H2ClientSession(
-            self.network,
-            self.client_host,
-            ip,
-            tls_config,
-            port=self.port,
-            origin_aware=self.origin_aware,
-            tracer=self.tracer,
-            audit=self.audit,
-            page=self.page,
-        )
+        """Open a new connection to ``ip`` with SNI ``hostname``.
+
+        ``dialer`` overrides the pool's default for this one call; the
+        session is registered before :meth:`Session.connect` runs, so
+        in-flight connections are visible to concurrent lookups exactly
+        as before the session layer existed.
+        """
+        active = dialer if dialer is not None else self.dialer
+        session = active.dial(hostname, ip, tls13=tls13)
         facts = ConnectionFacts(
             session=session,
             sni=hostname,
             connected_ip=ip,
             available_set=frozenset(available_set),
             anonymous_partition=anonymous,
+            endpoint=active.endpoint(hostname, active.port),
         )
         self.connections.append(facts)
         self.stats.connections_opened += 1

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import __version__
 from repro.analysis import format_pct, render_cdf, render_table
 from repro.browser.policy import POLICY_FACTORIES
 
@@ -79,7 +80,8 @@ def _crawl_cached(args, policy_name: str, force_audit: bool = False):
     )
 
     config = DatasetConfig(site_count=args.sites, seed=args.seed)
-    params = CrawlParams(policy=policy_name, speculative_rate=0.10)
+    params = CrawlParams(policy=policy_name, speculative_rate=0.10,
+                         alpn=getattr(args, "alpn", "h2"))
     shard_count = len(plan_shards(config, args.shards or None))
     cache = None if args.no_cache else CrawlCache(args.cache_dir)
 
@@ -253,6 +255,28 @@ def _parse_tables(spec: str) -> List[str]:
     return [token for token in TABLE_RENDERERS if token in tokens]
 
 
+#: ALPN protocols the crawl pipeline can offer.
+SUPPORTED_ALPN = ("h2", "h3")
+
+
+def _parse_alpn(spec: str) -> str:
+    """Normalize ``--alpn`` (e.g. ``"h2,h3"``); h2 is mandatory."""
+    tokens = [token.strip() for token in spec.split(",") if token.strip()]
+    unknown = [token for token in tokens if token not in SUPPORTED_ALPN]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown protocol(s) {','.join(unknown)}; choose from "
+            f"{','.join(SUPPORTED_ALPN)}"
+        )
+    if "h2" not in tokens:
+        raise argparse.ArgumentTypeError(
+            "the offer must include h2 (h3 endpoints are discovered "
+            "over h2 via Alt-Svc and HTTPS records)"
+        )
+    # Canonical order so equivalent spellings share a cache entry.
+    return ",".join(p for p in SUPPORTED_ALPN if p in tokens)
+
+
 def _positive_int(value: str) -> int:
     count = int(value)
     if count < 1:
@@ -295,6 +319,34 @@ def cmd_crawl(args) -> int:
     return 0
 
 
+def _print_protocol_rows(result) -> None:
+    """Per-protocol request/handshake summary for multi-ALPN crawls."""
+    by_protocol = {}
+    for archive in result.successes:
+        for entry in archive.entries:
+            row = by_protocol.setdefault(
+                entry.protocol, {"requests": 0, "new_connections": 0,
+                                 "handshake_ms": 0.0}
+            )
+            row["requests"] += 1
+            if entry.timings.connect >= 0 or entry.timings.ssl >= 0:
+                row["new_connections"] += 1
+                row["handshake_ms"] += (
+                    max(entry.timings.connect, 0.0)
+                    + max(entry.timings.ssl, 0.0)
+                )
+    total = sum(row["requests"] for row in by_protocol.values()) or 1
+    print(render_table(
+        "Per-protocol breakdown",
+        ["Protocol", "#Req", "%", "#New conns", "Handshake ms (total)"],
+        [(protocol, row["requests"],
+          format_pct(row["requests"] / total),
+          row["new_connections"], f"{row['handshake_ms']:.0f}")
+         for protocol, row in sorted(by_protocol.items(),
+                                     key=lambda kv: -kv[1]["requests"])],
+    ))
+
+
 def cmd_model(args) -> int:
     from repro.core import figure3, headline_reductions
     from repro.dataset.shard import plan_certificates_sharded
@@ -308,6 +360,9 @@ def cmd_model(args) -> int:
          ("ideal IP", data.ideal_ip),
          ("ideal ORIGIN", data.ideal_origin)],
     ))
+    if "h3" in getattr(args, "alpn", "h2"):
+        print()
+        _print_protocol_rows(result)
     headline = headline_reductions(result.archives)
     print(f"\nheadline: validation reduction "
           f"{format_pct(headline['validation_reduction'])}, "
@@ -383,6 +438,29 @@ def cmd_explain(args) -> int:
         pages=args.pages,
         metrics=args.breakdown,
     ))
+    from repro.audit.reasons import ReasonCode
+
+    protocol_codes = {
+        ReasonCode.ALT_SVC_UPGRADE, ReasonCode.HTTPS_RR_H3,
+        ReasonCode.QUIC_HANDSHAKE_1RTT, ReasonCode.ZERO_RTT_RESUMED,
+        ReasonCode.CROSS_HOST_TICKET, ReasonCode.TLS_ALPN_FALLBACK,
+    }
+    protocol_events = [
+        event for event in trace.audit
+        if event.kind in ("quic", "h3") or event.code in protocol_codes
+    ]
+    if protocol_events:
+        from collections import Counter
+
+        counts = Counter(event.code for event in protocol_events)
+        print()
+        print(render_table(
+            "Protocol events (h3 discovery and QUIC resumption)",
+            ["Reason", "#Events"],
+            [(code.value, count)
+             for code, count in sorted(counts.items(),
+                                       key=lambda kv: -kv[1])],
+        ))
     return 0
 
 
@@ -434,6 +512,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Respect the ORIGIN!' (IMC 2022)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def common(p):
@@ -471,6 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="crawl with decision auditing and write "
                             "the audit log to OUT (canonical JSONL); "
                             "bypasses cache reads")
+        p.add_argument("--alpn", type=_parse_alpn, default="h2",
+                       help="ALPN protocols the browser offers "
+                            "(default h2; 'h2,h3' also discovers and "
+                            "upgrades to QUIC endpoints)")
 
     crawl = sub.add_parser("crawl", help="crawl and characterize")
     common(crawl)

@@ -51,10 +51,15 @@ def cache_key(
     shard_count: int,
 ) -> str:
     """Content address for one crawl definition."""
+    params_doc = dataclasses.asdict(params)
+    if params_doc.get("alpn") == "h2":
+        # The pre-h3 cache format had no ALPN dimension; dropping the
+        # default keeps existing cache entries addressable.
+        del params_doc["alpn"]
     document = {
         "version": CACHE_FORMAT_VERSION,
         "config": dataclasses.asdict(config),
-        "params": dataclasses.asdict(params),
+        "params": params_doc,
         "shard_count": int(shard_count),
     }
     canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))

@@ -97,12 +97,20 @@ class Crawler:
         dns_latency_ms: float = 48.0,
         seed: int = 7,
         telemetry: Optional[Telemetry] = None,
+        alpn: str = "h2",
     ) -> None:
         self.world = world
         self.policy = policy or ChromiumPolicy()
         self.rng = np.random.default_rng(seed)
         self.telemetry = telemetry
+        self.alpn = tuple(
+            p.strip() for p in alpn.split(",") if p.strip()
+        ) or ("h2",)
         self.resolver = world.make_resolver(median_latency_ms=dns_latency_ms)
+        if "h3" in self.alpn:
+            # h3-capable clients also ask for HTTPS/SVCB records
+            # (piggybacked on the A query; no extra latency).
+            self.resolver.query_https_records = True
         if telemetry is not None:
             self.resolver.tracer = telemetry.tracer
             self.resolver.audit = telemetry.audit
@@ -118,6 +126,7 @@ class Crawler:
             tls12_rate=0.45,
             asdb=world.asdb,
             telemetry=telemetry,
+            alpn=self.alpn,
         )
         self.engine = BrowserEngine(self.context)
 

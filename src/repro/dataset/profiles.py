@@ -48,6 +48,10 @@ class ProviderProfile:
     dns_answer_size: int = 2
     #: Probability a server on this provider negotiates only HTTP/1.1.
     h1_only_rate: float = 0.0
+    #: Whether the provider's edge also terminates HTTP/3 (QUIC).
+    #: Static per-provider (the big CDNs rolled h3 out fleet-wide), so
+    #: flipping it never perturbs the generator's RNG draw order.
+    supports_h3: bool = False
     #: Per-provider content-type mix (Table 6); None = global mix.
     content_mix: Optional[Tuple[Tuple[ContentType, float], ...]] = None
 
@@ -100,12 +104,13 @@ PROVIDERS: Tuple[ProviderProfile, ...] = (
     ProviderProfile(
         name="Google", asn=15169, request_share=0.2210, site_share=0.0509,
         issuer="Google Trust Services CA 101", ip_pool_size=12,
-        dns_answer_size=2, content_mix=_GOOGLE_MIX,
+        dns_answer_size=2, content_mix=_GOOGLE_MIX, supports_h3=True,
     ),
     ProviderProfile(
         name="Cloudflare", asn=13335, request_share=0.1375,
         site_share=0.2474, issuer="Cloudflare Inc ECC CA-3",
         ip_pool_size=12, dns_answer_size=2, content_mix=_CLOUDFLARE_MIX,
+        supports_h3=True,
     ),
     ProviderProfile(
         name="Amazon 02", asn=16509, request_share=0.0840,
@@ -119,6 +124,7 @@ PROVIDERS: Tuple[ProviderProfile, ...] = (
     ProviderProfile(
         name="Fastly", asn=54113, request_share=0.0357, site_share=0.02,
         issuer="DigiCert SHA2 High Assurance Server CA", ip_pool_size=8,
+        supports_h3=True,
     ),
     ProviderProfile(
         name="Akamai AS", asn=16625, request_share=0.0302,
@@ -128,7 +134,7 @@ PROVIDERS: Tuple[ProviderProfile, ...] = (
     ProviderProfile(
         name="Facebook", asn=32934, request_share=0.0278,
         site_share=0.001, issuer="DigiCert SHA2 High Assurance Server CA",
-        ip_pool_size=6,
+        ip_pool_size=6, supports_h3=True,
     ),
     ProviderProfile(
         name="Akamai Intl. B.V.", asn=20940, request_share=0.0162,

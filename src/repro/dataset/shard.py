@@ -142,6 +142,9 @@ class CrawlParams:
     speculative_rate: float = 0.12
     dns_latency_ms: float = 48.0
     seed: int = 7
+    #: Comma-joined ALPN offer (``"h2"`` or ``"h2,h3"``).  The default
+    #: is omitted from the cache key so pre-h3 cache entries still hit.
+    alpn: str = "h2"
 
 
 def crawl_shard(spec: ShardSpec, params: CrawlParams) -> CrawlResult:
@@ -153,6 +156,7 @@ def crawl_shard(spec: ShardSpec, params: CrawlParams) -> CrawlResult:
         speculative_rate=params.speculative_rate,
         dns_latency_ms=params.dns_latency_ms,
         seed=spec.crawler_seed(params.seed),
+        alpn=params.alpn,
     )
     return crawler.crawl()
 
@@ -192,6 +196,7 @@ def crawl_shard_traced(
         dns_latency_ms=params.dns_latency_ms,
         seed=spec.crawler_seed(params.seed),
         telemetry=telemetry,
+        alpn=params.alpn,
     )
     shard_span = None
     if telemetry.tracer.enabled:

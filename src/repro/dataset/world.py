@@ -171,11 +171,14 @@ def _provider_server(
         send_origin_frames=False,
         think_time_ms=float(world.rng.uniform(40.0, 140.0)),
         handler=world.handler,
+        supports_h3=profile.supports_h3,
     )
     server = H2Server(world.network, host, config,
                       retain_connections=False)
     server.listen_all(443)
     server.listen_plain_all(80)
+    if profile.supports_h3:
+        server.listen_quic_all(443)
     world.provider_hosts[profile.name] = host
     world.provider_servers[profile.name] = server
     return server
@@ -230,6 +233,10 @@ def _install_popular_hosts(world: SyntheticWorld) -> None:
         domain = ".".join(popular.hostname.split(".")[-2:])
         zone = _zone_for_domain(world, domain)
         zone.add_a(popular.hostname, ips, ttl=ttl)
+        if profile.supports_h3:
+            # RFC 9460 service discovery: big providers publish HTTPS
+            # records so h3-capable clients skip the Alt-Svc round.
+            zone.add_https(popular.hostname, alpn=("h3", "h2"), ttl=ttl)
         world.popular_hostnames[popular.hostname] = popular.provider
 
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Set
 from repro.audit.log import NULL_AUDIT
 from repro.audit.reasons import ReasonCode
 from repro.h2.frames import FRAME_HEADER_LEN, KNOWN_TYPES
-from repro.h2.tls_channel import REC_APPDATA, parse_records
+from repro.transport.framing import REC_APPDATA, parse_records
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
 from repro.telemetry import RegistryStats

@@ -14,6 +14,9 @@ class RecordType(enum.Enum):
     AAAA = "AAAA"
     CNAME = "CNAME"
     NS = "NS"
+    #: HTTPS/SVCB (RFC 9460); the value is the comma-joined ALPN list
+    #: the service endpoint advertises (e.g. ``"h3,h2"``).
+    HTTPS = "HTTPS"
 
 
 def normalize_name(name: str) -> str:
@@ -60,6 +63,9 @@ class DnsAnswer:
     from_cache: bool = False
     query_time_ms: float = 0.0
     encrypted_transport: bool = False
+    #: ALPN protocols from the name's HTTPS/SVCB record; empty when
+    #: none exists or the resolver did not ask for one.
+    https_alpn: Tuple[str, ...] = ()
 
     @property
     def empty(self) -> bool:

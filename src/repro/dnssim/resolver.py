@@ -123,6 +123,25 @@ class AuthoritativeServer:
             return addresses, min_ttl, tuple(chain)
         raise NxDomain(f"CNAME chain too long resolving {name}")
 
+    def query_https(self, name: str) -> Tuple[str, ...]:
+        """ALPN list from the name's HTTPS/SVCB record, following
+        CNAMEs like :meth:`query`; empty when no record exists."""
+        current = normalize_name(name)
+        for _ in range(MAX_CNAME_DEPTH):
+            zone = self.zone_for(current)
+            if zone is None:
+                return ()
+            records = zone.lookup(current, RecordType.HTTPS)
+            if not records:
+                return ()
+            if records[0].rtype is RecordType.CNAME:
+                current = records[0].value
+                continue
+            return tuple(
+                p for p in records[0].value.split(",") if p
+            )
+        return ()
+
 
 class CachingResolver:
     """A stub resolver with TTL cache over the simulated event loop."""
@@ -142,6 +161,11 @@ class CachingResolver:
         self._median_latency = median_latency_ms
         self._latency_sigma = latency_sigma
         self.encrypted_transport = encrypted_transport
+        #: When True, wire queries also fetch the name's HTTPS/SVCB
+        #: record (piggybacked: resolvers issue A and HTTPS queries in
+        #: parallel, so no extra latency is modelled).  Off by default
+        #: so pre-h3 crawls resolve exactly as before.
+        self.query_https_records = False
         self._cache: Dict[str, CacheEntry] = {}
         #: In-flight queries: name -> callbacks awaiting the answer.
         #: Browsers coalesce concurrent lookups for the same name, so a
@@ -193,6 +217,7 @@ class CachingResolver:
             from_cache=True,
             query_time_ms=0.0,
             encrypted_transport=entry.answer.encrypted_transport,
+            https_alpn=entry.answer.https_alpn,
         )
         return answer
 
@@ -245,6 +270,7 @@ class CachingResolver:
                     from_cache=True,
                     query_time_ms=0.0,
                     encrypted_transport=answer.encrypted_transport,
+                    https_alpn=answer.https_alpn,
                 ))
 
             if self.audit.enabled:
@@ -293,6 +319,10 @@ class CachingResolver:
                 from_cache=False,
                 query_time_ms=latency,
                 encrypted_transport=self.encrypted_transport,
+                https_alpn=(
+                    self._authority.query_https(name)
+                    if self.query_https_records else ()
+                ),
             )
             self._cache[name] = CacheEntry(
                 answer=answer, expires_at=self._loop.now() + ttl
@@ -336,7 +366,11 @@ class CachingResolver:
             self.stats.nxdomain += 1
             raise
         answer = DnsAnswer(
-            name=name, addresses=addresses, ttl=ttl, cname_chain=chain
+            name=name, addresses=addresses, ttl=ttl, cname_chain=chain,
+            https_alpn=(
+                self._authority.query_https(name)
+                if self.query_https_records else ()
+            ),
         )
         self._cache[name] = CacheEntry(
             answer=answer, expires_at=self._loop.now() + ttl

@@ -69,6 +69,15 @@ class Zone:
     def add_cname(self, name: str, target: str, ttl: float = 300_000.0) -> None:
         self.add(ResourceRecord(name, RecordType.CNAME, target, ttl))
 
+    def add_https(self, name: str, alpn=("h3", "h2"),
+                  ttl: float = 300_000.0) -> None:
+        """Convenience: add an HTTPS/SVCB record advertising ``alpn``."""
+        if isinstance(alpn, str):
+            alpn = [alpn]
+        self.add(ResourceRecord(
+            name, RecordType.HTTPS, ",".join(alpn), ttl
+        ))
+
     def remove(self, name: str, rtype: RecordType) -> int:
         """Drop all records at (name, rtype); returns how many were removed."""
         key = (normalize_name(name), rtype)

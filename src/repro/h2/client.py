@@ -23,6 +23,11 @@ from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
 from repro.telemetry import NULL_TRACER
 from repro.tlspki.certificate import Certificate
+from repro.transport.base import (
+    DEFAULT_MAX_STREAMS,
+    Session,
+    SessionCapabilities,
+)
 
 Header = Tuple[str, str]
 
@@ -54,8 +59,9 @@ class PendingRequest:
     headers_at: float = 0.0
 
 
-class H2ClientSession:
-    """One client connection to one server IP."""
+class H2ClientSession(Session):
+    """One client connection to one server IP (the ``tcp-tls``
+    transport's session)."""
 
     def __init__(
         self,
@@ -147,7 +153,19 @@ class H2ClientSession:
     def _on_tls_established(self) -> None:
         assert self.channel is not None
         self.server_chain = self.channel.server_chain
-        self.negotiated_protocol = self.channel.negotiated_alpn or "h2"
+        negotiated = self.channel.negotiated_alpn
+        if not negotiated:
+            # The handshake produced no ALPN result at all (empty
+            # offer): assuming h2 is RFC 7540 prior knowledge, not a
+            # negotiation -- record it instead of masking it.
+            negotiated = "h2"
+            if self.audit.enabled:
+                self.audit.record(
+                    "tls", ReasonCode.TLS_ALPN_FALLBACK,
+                    page=self.page, hostname=self.tls_config.sni,
+                    assumed=negotiated,
+                )
+        self.negotiated_protocol = negotiated
         if self.negotiated_protocol == "http/1.1":
             # ALPN fallback: speak serial HTTP/1.1 on this channel.
             from repro.h2.http1 import H1ClientProtocol
@@ -251,6 +269,18 @@ class H2ClientSession:
                 self._on_failed.append(on_failed)
 
     # -- facts for coalescing policies -----------------------------------------
+
+    @property
+    def capabilities(self) -> SessionCapabilities:
+        """The capability record pool lookups key on; reflects the
+        negotiated protocol once the handshake settles."""
+        if self._h1 is not None:
+            return SessionCapabilities(alpn="http/1.1", max_streams=1)
+        return SessionCapabilities(
+            alpn="h2",
+            supports_origin_frame=self.origin_aware,
+            max_streams=DEFAULT_MAX_STREAMS,
+        )
 
     @property
     def can_multiplex(self) -> bool:

@@ -66,6 +66,12 @@ class ServerConfig:
     #: Advertised SETTINGS_MAX_CONCURRENT_STREAMS (None = protocol
     #: default, effectively unlimited).
     max_concurrent_streams: Optional[int] = None
+    #: Whether this fleet also terminates h3 (QUIC).  When True the
+    #: world binds a datagram listener next to the TCP one and TCP
+    #: responses advertise ``Alt-Svc: h3`` -- but only to clients whose
+    #: ALPN offer included h3, so h2-only traffic is byte-identical to
+    #: a server without the flag.
+    supports_h3: bool = False
     #: Secondary certificate chains (draft-ietf-httpbis-http2-
     #: secondary-certs, the §6.5 alternative) advertised per SNI;
     #: ``"*"`` applies to every connection.
@@ -148,6 +154,10 @@ class ServerStats(RegistryStats):
 
 class ServerConnection:
     """Server-side state for one accepted connection."""
+
+    #: Whether responses on this connection may carry Alt-Svc; the
+    #: QUIC subclass turns it off (its clients are already on h3).
+    alt_svc_eligible = True
 
     def __init__(
         self, server: "H2Server", transport: Transport
@@ -301,6 +311,15 @@ class ServerConnection:
         assert self.conn is not None
         response_headers = [(":status", str(status))]
         response_headers.extend(extra_headers)
+        if (
+            self.alt_svc_eligible
+            and self.server.config.supports_h3
+            and "h3" in getattr(self.channel, "client_offered_alpn", ())
+        ):
+            # RFC 7838: advertise the h3 endpoint, but only to clients
+            # that offered h3 -- anyone else gets the exact bytes a
+            # non-h3 server would send.
+            response_headers.append(("alt-svc", 'h3=":443"; ma=86400'))
         response_headers.append(("content-length", str(len(body))))
         if body:
             self.conn.send_headers(stream_id, response_headers)
@@ -337,6 +356,10 @@ class H2Server:
         self.ticket_manager = (
             TicketManager() if config.enable_resumption else None
         )
+        #: QUIC session tickets (cross-hostname validity); created on
+        #: the first :meth:`listen_quic` so h2-only servers carry no
+        #: QUIC state at all.
+        self.quic_ticket_manager = None
         #: When False, connection objects are not kept after accept --
         #: large crawls would otherwise accumulate them unboundedly.
         self.retain_connections = retain_connections
@@ -363,9 +386,31 @@ class H2Server:
         for ip in self.host.addresses:
             self.listen_plain(ip, port)
 
+    def listen_quic(self, ip: str, port: int = 443) -> None:
+        """Serve h3 on the datagram side of ``port``."""
+        if self.quic_ticket_manager is None and \
+                self.config.enable_resumption:
+            from repro.transport.quicsim import QuicTicketManager
+
+            self.quic_ticket_manager = QuicTicketManager()
+        self.network.listen_datagram(self.host, ip, port,
+                                     self._accept_quic)
+
+    def listen_quic_all(self, port: int = 443) -> None:
+        for ip in self.host.addresses:
+            self.listen_quic(ip, port)
+
     def _accept(self, transport: Transport) -> None:
         self.stats.connections += 1
         connection = ServerConnection(self, transport)
+        if self.retain_connections:
+            self.connections.append(connection)
+
+    def _accept_quic(self, transport: Transport) -> None:
+        from repro.transport.quicsim import QuicServerConnection
+
+        self.stats.connections += 1
+        connection = QuicServerConnection(self, transport)
         if self.retain_connections:
             self.connections.append(connection)
 

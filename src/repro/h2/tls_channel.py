@@ -22,7 +22,6 @@ frames inside APPDATA without any side channel.
 from __future__ import annotations
 
 import json
-import struct
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -34,35 +33,21 @@ from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.certificate import Certificate
 from repro.tlspki.validation import TrustStore, validate_chain
 
-RECORD_HEADER_LEN = 5
-
-REC_HELLO = 0x01
-REC_SHELLO = 0x06
-REC_CERT = 0x02
-REC_KEYX = 0x04
-REC_FINISHED = 0x03
-REC_TICKET = 0x07
-REC_APPDATA = 0x17
-REC_ALERT = 0x15
-
-
-def pack_record(record_type: int, payload: bytes) -> bytes:
-    return struct.pack(">BI", record_type, len(payload)) + payload
-
-
-def parse_records(buffer: bytes) -> Tuple[List[Tuple[int, bytes]], bytes]:
-    """Parse complete records off ``buffer``; returns (records, rest)."""
-    records: List[Tuple[int, bytes]] = []
-    while len(buffer) >= RECORD_HEADER_LEN:
-        record_type, length = struct.unpack(
-            ">BI", buffer[:RECORD_HEADER_LEN]
-        )
-        if len(buffer) < RECORD_HEADER_LEN + length:
-            break
-        payload = buffer[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length]
-        buffer = buffer[RECORD_HEADER_LEN + length :]
-        records.append((record_type, payload))
-    return records, buffer
+# Record framing is shared with the QUIC-flavored session and the
+# middlebox model; re-exported here for existing importers.
+from repro.transport.framing import (  # noqa: F401
+    REC_ALERT,
+    REC_APPDATA,
+    REC_CERT,
+    REC_FINISHED,
+    REC_HELLO,
+    REC_KEYX,
+    REC_SHELLO,
+    REC_TICKET,
+    RECORD_HEADER_LEN,
+    pack_record,
+    parse_records,
+)
 
 
 def serialize_chain(chain: Sequence[Certificate]) -> bytes:
@@ -357,6 +342,9 @@ class TlsServerChannel(TlsChannel):
         self.client_tls13 = True
         self.negotiated_alpn = None
         self.resumed = False
+        #: The client's full ALPN offer, kept so the application layer
+        #: can advertise upgrades (Alt-Svc) only to clients that asked.
+        self.client_offered_alpn: Tuple[str, ...] = ()
 
     def _on_record(self, record_type: int, payload: bytes) -> None:
         if record_type == REC_HELLO:
@@ -365,6 +353,7 @@ class TlsServerChannel(TlsChannel):
             self.client_sni = hello.get("real_sni") or hello.get("sni", "")
             self.client_tls13 = bool(hello.get("tls13", True))
             offered = hello.get("alpn") or []
+            self.client_offered_alpn = tuple(offered)
             supported = self.supported_alpn
             if callable(supported):
                 supported = supported(self.client_sni)

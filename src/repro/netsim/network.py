@@ -81,6 +81,7 @@ class Network:
         self._hosts: Dict[str, Host] = {}
         self._by_address: Dict[str, Host] = {}
         self._services: Dict[Tuple[str, int], Service] = {}
+        self._datagram_services: Dict[Tuple[str, int], Service] = {}
         self._taps: List[NetworkTap] = []
         self.connections_opened = 0
 
@@ -143,6 +144,33 @@ class Network:
 
     def service_at(self, ip: str, port: int) -> Optional[Service]:
         return self._services.get((ip, port))
+
+    def listen_datagram(
+        self,
+        host: Host,
+        ip: str,
+        port: int,
+        acceptor: Callable[[Transport], None],
+    ) -> Service:
+        """Bind a datagram (UDP-style) listener to (ip, port).
+
+        Datagram listeners live in a separate namespace from stream
+        listeners, so a QUIC endpoint can share 443 with a TCP one.
+        """
+        if ip not in host.addresses:
+            raise ValueError(f"{ip} is not an address of {host.name}")
+        key = (ip, port)
+        if key in self._datagram_services:
+            raise ValueError(f"{ip}:{port} already has a datagram listener")
+        service = Service(host, ip, port, acceptor)
+        self._datagram_services[key] = service
+        return service
+
+    def unlisten_datagram(self, ip: str, port: int) -> None:
+        self._datagram_services.pop((ip, port), None)
+
+    def datagram_service_at(self, ip: str, port: int) -> Optional[Service]:
+        return self._datagram_services.get((ip, port))
 
     # -- taps ---------------------------------------------------------------
 
@@ -210,3 +238,55 @@ class Network:
 
         self.loop.schedule(rtt / 2.0, establish)
         self.loop.schedule(rtt, complete)
+
+    def connect_datagram(
+        self,
+        client: Host,
+        server_ip: str,
+        port: int,
+        on_refused: Optional[Callable[[Exception], None]] = None,
+    ) -> Optional[Transport]:
+        """Open a datagram flow from ``client`` to ``server_ip:port``.
+
+        Unlike :meth:`connect` there is no handshake: the client-side
+        transport is returned synchronously and the first datagram can
+        go out immediately (QUIC folds transport setup into its
+        cryptographic handshake).  Data still pays the one-way path
+        latency per flight.  Network taps do not apply: a QUIC flow is
+        encrypted end-to-end from the first packet, so the on-path
+        middlebox model has nothing it can parse.
+
+        Returns ``None`` when nothing is listening; ``on_refused`` (if
+        given) fires one RTT later, when the ICMP unreachable would
+        arrive.
+        """
+        service = self._datagram_services.get((server_ip, port))
+        if service is None:
+            rtt = self.latency.rtt(client.region, "unknown-region")
+            error = ConnectionRefused(
+                f"no datagram listener at {server_ip}:{port}"
+            )
+
+            def refuse() -> None:
+                if on_refused is not None:
+                    on_refused(error)
+                else:
+                    raise error
+
+            self.loop.schedule(rtt, refuse)
+            return None
+
+        client_end, server_end = Transport.pair(
+            self.loop,
+            self.latency,
+            client.region,
+            service.host.region,
+            client.primary_address,
+            server_ip,
+        )
+        self.connections_opened += 1
+        service.connections_accepted += 1
+        # The server side exists as soon as the flow does; its channel
+        # only learns anything when the client's first flight lands.
+        service.acceptor(server_end)
+        return client_end

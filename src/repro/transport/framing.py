@@ -1,0 +1,44 @@
+"""Length-prefixed record framing shared by every simulated protocol.
+
+Both the TLS-over-TCP channel (:mod:`repro.h2.tls_channel`) and the
+QUIC-flavored datagram session (:mod:`repro.transport.quicsim`) frame
+their wire bytes as 5-byte-header records (type + 32-bit length), and
+the on-path middlebox model (:mod:`repro.deployment.middlebox`) parses
+the same framing to inspect traffic.  This module is the single
+definition all three share.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+RECORD_HEADER_LEN = 5
+
+REC_HELLO = 0x01
+REC_SHELLO = 0x06
+REC_CERT = 0x02
+REC_KEYX = 0x04
+REC_FINISHED = 0x03
+REC_TICKET = 0x07
+REC_APPDATA = 0x17
+REC_ALERT = 0x15
+
+
+def pack_record(record_type: int, payload: bytes) -> bytes:
+    return struct.pack(">BI", record_type, len(payload)) + payload
+
+
+def parse_records(buffer: bytes) -> Tuple[List[Tuple[int, bytes]], bytes]:
+    """Parse complete records off ``buffer``; returns (records, rest)."""
+    records: List[Tuple[int, bytes]] = []
+    while len(buffer) >= RECORD_HEADER_LEN:
+        record_type, length = struct.unpack(
+            ">BI", buffer[:RECORD_HEADER_LEN]
+        )
+        if len(buffer) < RECORD_HEADER_LEN + length:
+            break
+        payload = buffer[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length]
+        buffer = buffer[RECORD_HEADER_LEN + length :]
+        records.append((record_type, payload))
+    return records, buffer

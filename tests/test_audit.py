@@ -211,9 +211,7 @@ class TestPolicyExplain:
 
 def audited_pool(policy=None):
     pool = ConnectionPool(
-        network=None, client_host=None,
         policy=policy or FirefoxPolicy(origin_frames=True),
-        tls_config_factory=lambda sni: None,
         audit=AuditLog(),
         page="https://page/",
     )
@@ -356,9 +354,7 @@ class TestPoolEmitsExactlyOneReason:
 
     def test_disabled_audit_records_nothing(self):
         pool = ConnectionPool(
-            network=None, client_host=None,
             policy=FirefoxPolicy(origin_frames=True),
-            tls_config_factory=lambda sni: None,
         )
         add(pool, "www.a.com")
         assert pool.find_same_host("www.a.com")

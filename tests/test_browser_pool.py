@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.audit import ReasonCode
+from repro.audit import AuditLog, ReasonCode
 from repro.browser.policy import (
     ChromiumPolicy,
     ConnectionFacts,
@@ -34,9 +34,7 @@ class FakeSession:
 
 def make_pool(policy=None):
     return ConnectionPool(
-        network=None, client_host=None,
         policy=policy or FirefoxPolicy(origin_frames=True),
-        tls_config_factory=lambda sni: None,
     )
 
 
@@ -289,3 +287,46 @@ class TestPruning:
         assert pool.find_same_host("www.a.com").facts is second
         # Only the live connection remains in the bucket.
         assert pool.connections.for_host("www.a.com") == [second]
+
+
+class TestMidPathRstEviction:
+    """A connection torn down by an on-path RST (``Transport.abort``)
+    reads as failed; the next lookup must evict it from the registry
+    and every index, never hand it out again."""
+
+    def test_aborted_connection_evicted_everywhere(self):
+        pool = make_pool()
+        facts = add(pool, "www.a.com", san=("www.a.com",),
+                    available=("10.0.0.1",))
+        facts.session.failed = "connection aborted by mid-path RST"
+        outcome = pool.find_same_host("www.a.com")
+        assert not outcome
+        assert outcome.reason is ReasonCode.MISS_CLOSED_STALE
+        registry = pool.connections
+        assert len(registry) == 0
+        assert registry.for_host("www.a.com") == []
+        assert registry.by_ip.get("10.0.0.1", []) == []
+        assert registry.for_endpoint("www.a.com", "tcp-tls") == []
+        assert pool.stats.pruned_connections == 1
+
+    def test_eviction_records_exactly_one_audit_event(self):
+        audit = AuditLog()
+        pool = ConnectionPool(
+            policy=FirefoxPolicy(origin_frames=True),
+            audit=audit,
+            page="https://www.a.com/",
+        )
+        facts = add(pool, "www.a.com")
+        facts.session.failed = "connection aborted by mid-path RST"
+        assert not pool.find_same_host("www.a.com")
+        assert len(audit.events) == 1
+        assert audit.events[0].code is ReasonCode.MISS_CLOSED_STALE
+
+    def test_replacement_connection_is_found_after_rst(self):
+        pool = make_pool()
+        dead = add(pool, "www.a.com")
+        dead.session.failed = "connection aborted by mid-path RST"
+        assert not pool.find_same_host("www.a.com")
+        fresh = add(pool, "www.a.com")
+        assert pool.find_same_host("www.a.com").facts is fresh
+        assert list(pool.connections) == [fresh]

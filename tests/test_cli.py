@@ -1,8 +1,11 @@
 """CLI smoke tests (tiny scales; each command end to end)."""
 
+import argparse
+
 import pytest
 
-from repro.cli import POLICIES, _parse_tables, build_parser, main
+from repro import __version__
+from repro.cli import POLICIES, _parse_alpn, _parse_tables, build_parser, main
 
 
 class TestParser:
@@ -50,6 +53,43 @@ class TestParser:
         assert args.shards == 8
         assert args.cache_dir == "/tmp/x"
         assert args.refresh is True
+
+
+class TestVersion:
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["--version"])
+        assert exit_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+class TestParseAlpn:
+    def test_default_is_h2_only(self):
+        args = build_parser().parse_args(["crawl"])
+        assert args.alpn == "h2"
+
+    def test_h2_h3_accepted(self):
+        args = build_parser().parse_args(["crawl", "--alpn", "h2,h3"])
+        assert args.alpn == "h2,h3"
+
+    def test_canonical_ordering(self):
+        # Offer order is normalized so cache keys cannot fork on it.
+        assert _parse_alpn("h3,h2") == "h2,h3"
+        assert _parse_alpn(" h2 , h3 ") == "h2,h3"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(argparse.ArgumentTypeError, match="spdy"):
+            _parse_alpn("h2,spdy")
+
+    def test_h2_is_mandatory(self):
+        # h3 endpoints are discovered over h2 (Alt-Svc / HTTPS RRs).
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="must include h2"):
+            _parse_alpn("h3")
+
+    def test_bad_alpn_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--alpn", "h3"])
 
 
 class TestParseTables:
@@ -129,6 +169,34 @@ class TestCommands:
         capsys.readouterr()
         assert main(argv) == 0
         assert "cache: hit" in capsys.readouterr().err
+
+    def test_model_default_alpn_has_no_protocol_rows(self, capsys,
+                                                     tmp_path):
+        assert main(["model", "--sites", "25", "--seed", "3",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        # h2-only output stays exactly the pre-h3 report.
+        assert "Per-protocol breakdown" not in out
+
+    def test_model_h3_alpn_prints_protocol_rows(self, capsys,
+                                                tmp_path):
+        assert main(["model", "--sites", "12", "--seed", "2022",
+                     "--alpn", "h2,h3",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-protocol breakdown" in out
+        assert "h3" in out
+        assert "Handshake ms (total)" in out
+
+    def test_explain_h3_alpn_lists_protocol_events(self, capsys,
+                                                   tmp_path):
+        assert main(["explain", "--sites", "12", "--seed", "2022",
+                     "--alpn", "h2,h3", "--pages", "0",
+                     "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Protocol events" in out
+        assert "QUIC_HANDSHAKE_1RTT" in out
+        assert "HTTPS_RR_H3" in out
 
     def test_deploy_command(self, capsys):
         assert main(["deploy", "--sites", "80", "--seed", "3"]) == 0
