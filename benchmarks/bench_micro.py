@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks: HPACK, framing, event loop, world build.
+
+Each benchmark exercises one layer the crawl pipeline leans on,
+reporting operations per second over the best of ``--repeat`` timed
+passes (best-of defends against scheduler noise; the work itself is
+deterministic).  Results go to a JSON file so the regression gate in
+``scripts/bench.sh`` has a trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py \
+        --output BENCH_micro.json
+
+The numbers are machine-dependent; the gate compares ratios, not
+absolute rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed passes per benchmark; best wins "
+                             "(default 3)")
+    parser.add_argument("--output", default="BENCH_micro.json")
+    return parser.parse_args(argv)
+
+
+def best_of(repeat, func):
+    """Run ``func`` ``repeat`` times; return its fastest (ops, secs)."""
+    best = None
+    for _ in range(repeat):
+        ops, seconds = func()
+        if best is None or seconds / ops < best[1] / best[0]:
+            best = (ops, seconds)
+    return best
+
+
+#: A realistic request block: pseudo-headers plus the stable browser
+#: headers the crawler sends, with a varying :path.
+def _request_headers(path):
+    return [
+        (":method", "GET"),
+        (":scheme", "https"),
+        (":authority", "www.example.org"),
+        (":path", path),
+        ("user-agent", "repro-crawler/1.0"),
+        ("accept", "*/*"),
+    ]
+
+
+def bench_hpack_encode(blocks=2000):
+    from repro.h2.hpack import HpackEncoder
+
+    encoder = HpackEncoder()
+    headers = [_request_headers(f"/asset/{i % 97}.js")
+               for i in range(blocks)]
+    started = time.perf_counter()
+    for block in headers:
+        encoder.encode(block)
+    return blocks, time.perf_counter() - started
+
+
+def bench_hpack_decode(blocks=2000):
+    from repro.h2.hpack import HpackDecoder, HpackEncoder
+
+    encoder = HpackEncoder()
+    encoded = [encoder.encode(_request_headers(f"/asset/{i % 97}.js"))
+               for i in range(blocks)]
+    decoder = HpackDecoder()
+    started = time.perf_counter()
+    for block in encoded:
+        decoder.decode(block)
+    return blocks, time.perf_counter() - started
+
+
+def bench_frame_roundtrip(frames=2000):
+    from repro.h2 import frames as fr
+
+    specs = []
+    for i in range(frames):
+        stream_id = 1 + 2 * (i % 50)
+        specs.append(fr.HeadersFrame(
+            stream_id=stream_id, flags=fr.FLAG_END_HEADERS,
+            header_block=b"\x82\x86\x84" * 10,
+        ))
+        specs.append(fr.DataFrame(
+            stream_id=stream_id, flags=fr.FLAG_END_STREAM,
+            data=b"x" * 512,
+        ))
+        specs.append(fr.WindowUpdateFrame(stream_id=0, increment=512))
+    started = time.perf_counter()
+    buffer = bytearray()
+    for frame in specs:
+        frame.serialize_into(buffer)
+    parsed = fr.consume_frames(buffer)
+    elapsed = time.perf_counter() - started
+    if len(parsed) != len(specs) or buffer:
+        raise AssertionError("frame round-trip lost frames")
+    return len(specs), elapsed
+
+
+def bench_event_dispatch(events=20000):
+    from repro.netsim.events import EventLoop
+
+    loop = EventLoop()
+
+    def noop():
+        pass
+
+    started = time.perf_counter()
+    for i in range(events):
+        loop.schedule(float(i % 64), noop)
+    executed = loop.run_until_idle()
+    elapsed = time.perf_counter() - started
+    if executed != events:
+        raise AssertionError("event loop dropped events")
+    return events, elapsed
+
+
+def bench_world_build(sites=40):
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.world import build_world
+
+    config = DatasetConfig(site_count=sites, seed=2022)
+    started = time.perf_counter()
+    build_world(config)
+    return sites, time.perf_counter() - started
+
+
+BENCHMARKS = (
+    ("hpack_encode", bench_hpack_encode, "header blocks"),
+    ("hpack_decode", bench_hpack_decode, "header blocks"),
+    ("frame_roundtrip", bench_frame_roundtrip, "frames"),
+    ("event_dispatch", bench_event_dispatch, "events"),
+    ("world_build", bench_world_build, "sites"),
+)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    print(f"bench_micro: best of {args.repeat} passes per benchmark")
+    results = {}
+    for name, func, unit in BENCHMARKS:
+        ops, seconds = best_of(args.repeat, func)
+        rate = ops / seconds if seconds > 0 else float("inf")
+        results[name] = {
+            "ops": ops,
+            "seconds": round(seconds, 6),
+            "ops_per_sec": round(rate, 1),
+            "unit": unit,
+        }
+        print(f"  {name}: {ops} {unit} in {seconds:.4f}s "
+              f"({rate:,.0f} {unit}/sec)")
+    document = {
+        "python": platform.python_version(),
+        "repeat": args.repeat,
+        "results": results,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"  wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

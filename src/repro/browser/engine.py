@@ -677,15 +677,16 @@ class PageLoad:
         on_load = max(
             (entry.finished_at for entry in self.entries), default=0.0
         ) - self.start_time
+        blocking_paths = {
+            resource.path
+            for resource in self.page.resources
+            if resource.content_type.is_render_blocking
+        }
         blocking = [
             entry.finished_at
             for entry in self.entries
             if entry.path == self.page.root_path
-            or any(
-                resource.path == entry.path
-                and resource.content_type.is_render_blocking
-                for resource in self.page.resources
-            )
+            or entry.path in blocking_paths
         ]
         on_content_load = (
             max(blocking) - self.start_time if blocking else on_load

@@ -488,6 +488,106 @@ def cmd_audit_diff(args) -> int:
     return 0 if diff.clean else 1
 
 
+def _short_func_name(func: tuple) -> str:
+    """``file:line(name)`` with the path shortened to the module-ish
+    tail, so the hot-spot table stays readable and stable across
+    checkouts."""
+    filename, line, name = func
+    if filename == "~":
+        return name  # C builtins print as plain names
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        filename = "repro/" + filename[index + len(marker):]
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{line}({name})"
+
+
+def cmd_profile(args) -> int:
+    """Profile an in-process crawl and print a sorted hot-spot table.
+
+    The crawl always runs with ``jobs=1``: cProfile only observes the
+    calling process, so worker fan-out would hide exactly the code
+    this command exists to expose.  Simulated work is deterministic,
+    which makes call counts exactly reproducible run-to-run (timings
+    naturally vary with the machine).
+    """
+    import cProfile
+    import pstats
+
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import (
+        CrawlParams,
+        ParallelCrawler,
+        plan_shards,
+    )
+    from repro.telemetry.validation import validate_crawl_trace
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(policy=args.policy, speculative_rate=0.10,
+                         alpn=args.alpn)
+    shard_count = len(plan_shards(config, args.shards or None))
+    crawler = ParallelCrawler(
+        config, params=params, shard_count=shard_count, jobs=1
+    )
+    _diag(f"profile: crawling {config.site_count} sites over "
+          f"{shard_count} shard(s) in-process (jobs=1; cProfile "
+          "cannot see worker processes)")
+
+    want_trace = bool(args.trace)
+    profiler = cProfile.Profile()
+    trace = None
+    profiler.enable()
+    try:
+        if want_trace:
+            result, trace = crawler.crawl_traced(trace=True, audit=False)
+        else:
+            result = crawler.crawl()
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    elapsed = stats.total_tt
+    rate = result.attempted / elapsed if elapsed > 0 else 0.0
+    print(f"profiled {result.attempted} sites in {elapsed:.2f}s "
+          f"({rate:.2f} sites/sec under profiler overhead)")
+    print()
+
+    sort_index = 3 if args.sort == "cumulative" else 2
+    rows = sorted(
+        stats.stats.items(),
+        key=lambda item: item[1][sort_index],
+        reverse=True,
+    )[: args.top]
+    print(render_table(
+        f"Top {len(rows)} functions by {args.sort} time",
+        ["ncalls", "tottime (s)", "cumtime (s)", "function"],
+        [(
+            str(nc) if cc == nc else f"{nc}/{cc}",
+            f"{tt:.3f}",
+            f"{ct:.3f}",
+            _short_func_name(func),
+        ) for func, (cc, nc, tt, ct, _callers) in rows],
+    ))
+
+    if args.pstats:
+        stats.dump_stats(args.pstats)
+        _diag(f"pstats: raw profile -> {args.pstats} "
+              "(load with pstats.Stats or snakeviz)")
+
+    if want_trace:
+        problems = validate_crawl_trace(result, trace.spans)
+        if problems:
+            for problem in problems:
+                _diag(f"trace: INVALID: {problem}")
+            return 1
+        _diag(f"trace: {len(trace.spans)} spans validated against "
+              f"{result.attempted} archives")
+        _export_trace(trace, args.trace, want_metrics=False)
+    return 0
+
+
 def cmd_privacy(args) -> int:
     from repro.core import compare_privacy
 
@@ -613,6 +713,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(privacy)
     crawl_pipeline(privacy)
     privacy.set_defaults(func=cmd_privacy)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile an in-process crawl and print hot spots",
+    )
+    common(profile)
+    profile.add_argument("--policy", choices=sorted(POLICIES),
+                         default="chromium")
+    profile.add_argument("--shards", type=int, default=0,
+                         help="shard layout (default 0 = one shard per "
+                              "~100 sites)")
+    profile.add_argument("--alpn", type=_parse_alpn, default="h2",
+                         help="ALPN protocols the browser offers")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="hot-spot sort key (default cumulative)")
+    profile.add_argument("--top", type=_positive_int, default=25,
+                         help="rows in the hot-spot table (default 25)")
+    profile.add_argument("--trace", metavar="OUT", default=None,
+                         help="also collect telemetry spans, validate "
+                              "them against the archives, and write "
+                              "OUT (Chrome trace_event JSON, or span "
+                              "JSONL when OUT ends in .jsonl)")
+    profile.add_argument("--pstats", metavar="OUT", default=None,
+                         help="dump the raw cProfile stats to OUT")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -138,6 +138,13 @@ class PageGenerator:
         self._global_types = [t for t, _ in profiles.CONTENT_TYPE_WEIGHTS]
         weights = np.array([w for _, w in profiles.CONTENT_TYPE_WEIGHTS])
         self._global_type_weights = weights / weights.sum()
+        # Normalized probability arrays per content mix; building and
+        # renormalizing the same np array for every resource dominates
+        # planning time and always yields the same bits.
+        self._mix_cache: Dict[
+            Tuple[Tuple[ContentType, float], ...],
+            Tuple[List[ContentType], np.ndarray],
+        ] = {}
 
     # -- shared pools ------------------------------------------------------
 
@@ -168,21 +175,27 @@ class PageGenerator:
                 return name
         return ""
 
+    def _normalized_mix(
+        self, mix: Tuple[Tuple[ContentType, float], ...]
+    ) -> Tuple[List[ContentType], np.ndarray]:
+        cached = self._mix_cache.get(mix)
+        if cached is None:
+            weights = np.array([w for _, w in mix])
+            cached = ([t for t, _ in mix], weights / weights.sum())
+            self._mix_cache[mix] = cached
+        return cached
+
     def _content_type_for(
         self, provider: str, popular: Optional[profiles.PopularHostname]
     ) -> ContentType:
         if popular is not None:
-            types = [t for t, _ in popular.content]
-            weights = np.array([w for _, w in popular.content])
-            weights = weights / weights.sum()
+            types, weights = self._normalized_mix(popular.content)
             return types[self.rng.choice(len(types), p=weights)]
         profile = None
         if provider:
             profile = profiles.provider_by_name(provider)
         if profile is not None and profile.content_mix is not None:
-            types = [t for t, _ in profile.content_mix]
-            weights = np.array([w for _, w in profile.content_mix])
-            weights = weights / weights.sum()
+            types, weights = self._normalized_mix(profile.content_mix)
             return types[self.rng.choice(len(types), p=weights)]
         return self._global_types[
             self.rng.choice(len(self._global_types),

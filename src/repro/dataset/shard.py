@@ -44,6 +44,23 @@ DEFAULT_SHARD_SIZE = 100
 _WORLD_DOMAIN = 0
 _CRAWLER_DOMAIN = 1
 
+#: One-entry site-plan cache.  Every shard of a config needs the same
+#: full-generation pass; serial runs used to pay it once *per shard*.
+#: Plans are pure data -- world construction and crawling never mutate
+#: a SiteRecord -- so shards may share one list.  Keyed by config
+#: equality; worker processes each hold their own copy.
+_PLAN_CACHE: List[Tuple[DatasetConfig, List[SiteRecord]]] = []
+
+
+def generate_records(config: DatasetConfig) -> List[SiteRecord]:
+    """The full ranked site plan for ``config``, memoized (last config
+    wins, so sweeps over many configs do not accumulate plans)."""
+    if _PLAN_CACHE and _PLAN_CACHE[0][0] == config:
+        return _PLAN_CACHE[0][1]
+    records = PageGenerator(config).generate_all()
+    _PLAN_CACHE[:] = [(config, records)]
+    return records
+
 
 def derive_seed(
     base_seed: int, domain: int, shard_index: int, shard_count: int
@@ -89,12 +106,13 @@ class ShardSpec:
     def records(self) -> List[SiteRecord]:
         """This shard's site plans, from one full-generation pass.
 
-        Generation is pure data and cheap relative to materialization
-        and crawling, so every worker regenerates the complete list at
-        the original seed and slices it -- which keeps each site's
-        plan byte-identical no matter the shard layout.
+        The complete list is always generated at the original seed and
+        sliced -- which keeps each site's plan byte-identical no matter
+        the shard layout -- but the pass itself is memoized per config
+        (:func:`generate_records`), so a serial multi-shard crawl plans
+        the web once instead of once per shard.
         """
-        return PageGenerator(self.config).generate_all()[self.lo:self.hi]
+        return generate_records(self.config)[self.lo:self.hi]
 
     def build_world(self) -> SyntheticWorld:
         """Materialize only this shard's slice, on the derived seed."""

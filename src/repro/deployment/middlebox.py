@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Set
 from repro.audit.log import NULL_AUDIT
 from repro.audit.reasons import ReasonCode
 from repro.h2.frames import FRAME_HEADER_LEN, KNOWN_TYPES
-from repro.transport.framing import REC_APPDATA, parse_records
+from repro.transport.framing import REC_APPDATA, consume_records
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
 from repro.telemetry import RegistryStats
@@ -44,8 +44,8 @@ class _ConnectionInspector:
                  transport: Transport) -> None:
         self.middlebox = middlebox
         self.transport = transport
-        self._record_buffer = b""
-        self._frame_buffer = b""
+        self._record_buffer = bytearray()
+        self._frame_buffer = bytearray()
         self.dead = False
 
     def inspect(self, data: bytes) -> bool:
@@ -53,8 +53,7 @@ class _ConnectionInspector:
         if self.dead:
             return False
         self._record_buffer += data
-        records, self._record_buffer = parse_records(self._record_buffer)
-        for record_type, payload in records:
+        for record_type, payload in consume_records(self._record_buffer):
             if record_type != REC_APPDATA:
                 continue
             self._frame_buffer += payload
@@ -69,9 +68,7 @@ class _ConnectionInspector:
             if len(self._frame_buffer) < FRAME_HEADER_LEN + length:
                 return True  # wait for more bytes
             frame_type = self._frame_buffer[3]
-            self._frame_buffer = self._frame_buffer[
-                FRAME_HEADER_LEN + length:
-            ]
+            del self._frame_buffer[: FRAME_HEADER_LEN + length]
             self.middlebox.stats.frames_inspected += 1
             if frame_type not in self.middlebox.known_types:
                 self.middlebox.stats.unknown_frames_seen += 1

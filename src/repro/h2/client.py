@@ -31,6 +31,11 @@ from repro.transport.base import (
 
 Header = Tuple[str, str]
 
+#: The stable request-prefix headers, interned per method so every
+#: request reuses the same tuples (their HPACK encodings are memoized
+#: static-table hits).
+_REQUEST_PREFIX: Dict[str, Tuple[Header, Header]] = {}
+
 
 @dataclass
 class H2Response:
@@ -361,9 +366,13 @@ class H2ClientSession(Session):
             )
             return -1
         stream_id = self.conn.get_next_stream_id()
+        prefix = _REQUEST_PREFIX.get(method)
+        if prefix is None:
+            prefix = _REQUEST_PREFIX[method] = (
+                (":method", method), (":scheme", "https"),
+            )
         headers: List[Header] = [
-            (":method", method),
-            (":scheme", "https"),
+            *prefix,
             (":authority", authority),
             (":path", path),
         ]
@@ -406,46 +415,64 @@ class H2ClientSession(Session):
         self._flush()
 
     def _dispatch(self, event: ev.Event) -> None:
-        if isinstance(event, ev.ResponseReceived):
-            pending = self._pending.get(event.stream_id)
-            if pending is not None:
-                pending.headers = event.headers
-                pending.headers_at = self.network.loop.now()
-                for name, value in event.headers:
-                    if name == ":status":
-                        pending.status = int(value)
-        elif isinstance(event, ev.DataReceived):
-            pending = self._pending.get(event.stream_id)
-            if pending is not None:
-                pending.body += event.data
-        elif isinstance(event, ev.StreamEnded):
-            self._complete(event.stream_id)
-        elif isinstance(event, ev.OriginReceived):
-            if self.tracer.enabled:
-                self.tracer.instant(
-                    "h2.origin_frame", category="h2",
-                    parent=self._conn_span, sni=self.tls_config.sni,
-                    origins=list(event.origins),
-                )
+        handler = _EVENT_DISPATCH.get(event.__class__)
+        if handler is not None:
+            handler(self, event)
+            return
+        # Event subclasses resolve through isinstance, like the
+        # original dispatch chain; unrecognized events are ignored.
+        for event_class, isinstance_handler in _EVENT_DISPATCH.items():
+            if isinstance(event, event_class):
+                isinstance_handler(self, event)
+                return
+
+    def _on_response_received(self, event: "ev.ResponseReceived") -> None:
+        pending = self._pending.get(event.stream_id)
+        if pending is not None:
+            pending.headers = event.headers
+            pending.headers_at = self.network.loop.now()
+            for name, value in event.headers:
+                if name == ":status":
+                    pending.status = int(value)
+
+    def _on_data_received(self, event: "ev.DataReceived") -> None:
+        pending = self._pending.get(event.stream_id)
+        if pending is not None:
+            pending.body += event.data
+
+    def _on_stream_ended(self, event: "ev.StreamEnded") -> None:
+        self._complete(event.stream_id)
+
+    def _on_origin_received(self, event: "ev.OriginReceived") -> None:
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "h2.origin_frame", category="h2",
+                parent=self._conn_span, sni=self.tls_config.sni,
+                origins=list(event.origins),
+            )
+        if self.audit.enabled:
+            self.audit.record(
+                "h2", ReasonCode.H2_ORIGIN_FRAME_RECEIVED,
+                page=self.page, hostname=self.tls_config.sni,
+                origins=len(event.origins),
+            )
+        if self.on_origin_received is not None:
+            self.on_origin_received(event.origins)
+
+    def _on_secondary_certificate(
+        self, event: "ev.SecondaryCertificateReceived"
+    ) -> None:
+        self._accept_secondary_certificate(event.chain_data)
+
+    def _on_goaway_received(self, event: "ev.GoAwayReceived") -> None:
+        if event.error_code is not ErrorCode.NO_ERROR:
             if self.audit.enabled:
                 self.audit.record(
-                    "h2", ReasonCode.H2_ORIGIN_FRAME_RECEIVED,
+                    "h2", ReasonCode.H2_GOAWAY,
                     page=self.page, hostname=self.tls_config.sni,
-                    origins=len(event.origins),
+                    error_code=event.error_code.name,
                 )
-            if self.on_origin_received is not None:
-                self.on_origin_received(event.origins)
-        elif isinstance(event, ev.SecondaryCertificateReceived):
-            self._accept_secondary_certificate(event.chain_data)
-        elif isinstance(event, ev.GoAwayReceived):
-            if event.error_code is not ErrorCode.NO_ERROR:
-                if self.audit.enabled:
-                    self.audit.record(
-                        "h2", ReasonCode.H2_GOAWAY,
-                        page=self.page, hostname=self.tls_config.sni,
-                        error_code=event.error_code.name,
-                    )
-                self._fail(f"GOAWAY: {event.error_code.name}")
+            self._fail(f"GOAWAY: {event.error_code.name}")
 
     def _accept_secondary_certificate(self, chain_data: bytes) -> None:
         """Validate and adopt a secondary chain; bad chains are
@@ -508,3 +535,16 @@ class H2ClientSession(Session):
         data = self.conn.data_to_send()
         if data:
             self.channel.send_app(data)
+
+
+#: Exact-type event dispatch, ordered like the original isinstance
+#: chain so the subclass fallback resolves identically.
+_EVENT_DISPATCH = {
+    ev.ResponseReceived: H2ClientSession._on_response_received,
+    ev.DataReceived: H2ClientSession._on_data_received,
+    ev.StreamEnded: H2ClientSession._on_stream_ended,
+    ev.OriginReceived: H2ClientSession._on_origin_received,
+    ev.SecondaryCertificateReceived:
+        H2ClientSession._on_secondary_certificate,
+    ev.GoAwayReceived: H2ClientSession._on_goaway_received,
+}

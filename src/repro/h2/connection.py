@@ -67,7 +67,7 @@ class H2Connection:
         self._next_stream_id = 1 if role is Role.CLIENT else 2
         self._highest_remote_stream = 0
         self._outbound = bytearray()
-        self._recv_buffer = b""
+        self._recv_buffer = bytearray()
         self._preface_remaining = (
             fr.CONNECTION_PREFACE if role is Role.SERVER else b""
         )
@@ -182,18 +182,22 @@ class H2Connection:
         the back so one stalled stream cannot head-of-line-block the
         rest of the connection.
         """
+        queue = self._send_queue
+        if not queue:
+            return
         max_frame = self.remote_settings.max_frame_size
+        streams = self._streams
         skipped = 0
-        while self._send_queue and skipped < len(self._send_queue):
-            stream_id, data, end_stream = self._send_queue[0]
-            stream = self._streams.get(stream_id)
+        while queue and skipped < len(queue):
+            stream_id, data, end_stream = queue[0]
+            stream = streams.get(stream_id)
             if stream is None or stream.closed:
-                self._send_queue.popleft()
+                queue.popleft()
                 continue
             if data and self.connection_send_window <= 0:
                 return  # nothing can move until a connection update
             if data and stream.send_window <= 0:
-                self._send_queue.rotate(-1)
+                queue.rotate(-1)
                 skipped += 1
                 continue
             budget = min(self.connection_send_window, stream.send_window)
@@ -208,9 +212,9 @@ class H2Connection:
             )
             skipped = 0
             if rest:
-                self._send_queue[0] = (stream_id, rest, end_stream)
+                queue[0] = (stream_id, rest, end_stream)
             else:
-                self._send_queue.popleft()
+                queue.popleft()
 
     def send_origin(self, origins: Sequence[str]) -> None:
         """Advertise an origin set (server, stream 0)."""
@@ -259,7 +263,7 @@ class H2Connection:
 
     def _send_frame(self, frame: fr.Frame) -> None:
         self.frames_sent.append(frame)
-        self._outbound += frame.serialize()
+        frame.serialize_into(self._outbound)
 
     # -- receiving ------------------------------------------------------------
 
@@ -270,7 +274,8 @@ class H2Connection:
         queueing a GOAWAY, mirroring how a real endpoint fails.
         """
         events: List[ev.Event] = []
-        buffer = self._recv_buffer + data
+        buffer = self._recv_buffer
+        buffer += data
         if self._preface_remaining:
             take = min(len(buffer), len(self._preface_remaining))
             if buffer[:take] != self._preface_remaining[:take]:
@@ -278,9 +283,9 @@ class H2Connection:
                     ErrorCode.PROTOCOL_ERROR, "bad connection preface"
                 )
             self._preface_remaining = self._preface_remaining[take:]
-            buffer = buffer[take:]
+            del buffer[:take]
         try:
-            parsed, self._recv_buffer = fr.parse_frames(buffer)
+            parsed = fr.consume_frames(buffer)
             for frame in parsed:
                 self.frames_received.append(frame)
                 events.extend(self._handle_frame(frame))
@@ -297,53 +302,47 @@ class H2Connection:
                 ErrorCode.PROTOCOL_ERROR,
                 "interleaved frame while expecting CONTINUATION",
             )
-        if isinstance(frame, fr.DataFrame):
-            return self._on_data(frame)
-        if isinstance(frame, fr.HeadersFrame):
-            return self._on_headers(frame)
-        if isinstance(frame, fr.ContinuationFrame):
-            return self._on_continuation(frame)
-        if isinstance(frame, fr.SettingsFrame):
-            return self._on_settings(frame)
-        if isinstance(frame, fr.RstStreamFrame):
-            return self._on_rst(frame)
-        if isinstance(frame, fr.PingFrame):
-            return self._on_ping(frame)
-        if isinstance(frame, fr.GoAwayFrame):
-            self._goaway_received = True
-            return [
-                ev.GoAwayReceived(
-                    last_stream_id=frame.last_stream_id,
-                    error_code=frame.error_code,
-                    debug_data=frame.debug_data,
-                )
-            ]
-        if isinstance(frame, fr.WindowUpdateFrame):
-            return self._on_window_update(frame)
-        if isinstance(frame, fr.OriginFrame):
-            return self._on_origin(frame)
-        if isinstance(frame, fr.CertificateFrame):
-            return self._on_certificate(frame)
-        if isinstance(frame, fr.PriorityFrame):
-            return []  # parsed, scheduling hints unused
-        if isinstance(frame, fr.PushPromiseFrame):
-            if not self.local_settings.enable_push:
-                raise H2ConnectionError(
-                    ErrorCode.PROTOCOL_ERROR, "push is disabled"
-                )
-            return []
-        if isinstance(frame, fr.UnknownFrame):
-            # RFC 7540 §4.1: ignore and discard.
-            return [
-                ev.UnknownFrameReceived(
-                    raw_type=frame.raw_type,
-                    stream_id=frame.stream_id,
-                    payload_length=len(frame.raw_payload),
-                )
-            ]
+        handler = _FRAME_DISPATCH.get(frame.__class__)
+        if handler is not None:
+            return handler(self, frame)
+        # Frame subclasses (e.g. from tests) fall back to isinstance
+        # resolution against the same handlers.
+        for frame_class, isinstance_handler in _FRAME_DISPATCH.items():
+            if isinstance(frame, frame_class):
+                return isinstance_handler(self, frame)
         raise H2ConnectionError(
             ErrorCode.INTERNAL_ERROR, f"unhandled frame {frame!r}"
         )
+
+    def _on_goaway(self, frame: fr.GoAwayFrame) -> List[ev.Event]:
+        self._goaway_received = True
+        return [
+            ev.GoAwayReceived(
+                last_stream_id=frame.last_stream_id,
+                error_code=frame.error_code,
+                debug_data=frame.debug_data,
+            )
+        ]
+
+    def _on_priority(self, frame: fr.PriorityFrame) -> List[ev.Event]:
+        return []  # parsed, scheduling hints unused
+
+    def _on_push_promise(self, frame: fr.PushPromiseFrame) -> List[ev.Event]:
+        if not self.local_settings.enable_push:
+            raise H2ConnectionError(
+                ErrorCode.PROTOCOL_ERROR, "push is disabled"
+            )
+        return []
+
+    def _on_unknown(self, frame: fr.UnknownFrame) -> List[ev.Event]:
+        # RFC 7540 §4.1: ignore and discard.
+        return [
+            ev.UnknownFrameReceived(
+                raw_type=frame.raw_type,
+                stream_id=frame.stream_id,
+                payload_length=len(frame.raw_payload),
+            )
+        ]
 
     def _on_data(self, frame: fr.DataFrame) -> List[ev.Event]:
         if frame.stream_id == 0:
@@ -555,3 +554,23 @@ class H2Connection:
         # RFC 8336 §2.3: the frame replaces the origin set.
         self.remote_origin_set = set(frame.origins)
         return [ev.OriginReceived(origins=frame.origins)]
+
+
+#: Exact-type frame dispatch, ordered like the original isinstance
+#: chain so the subclass fallback in ``_handle_frame`` resolves the
+#: same way the chain did.
+_FRAME_DISPATCH = {
+    fr.DataFrame: H2Connection._on_data,
+    fr.HeadersFrame: H2Connection._on_headers,
+    fr.ContinuationFrame: H2Connection._on_continuation,
+    fr.SettingsFrame: H2Connection._on_settings,
+    fr.RstStreamFrame: H2Connection._on_rst,
+    fr.PingFrame: H2Connection._on_ping,
+    fr.GoAwayFrame: H2Connection._on_goaway,
+    fr.WindowUpdateFrame: H2Connection._on_window_update,
+    fr.OriginFrame: H2Connection._on_origin,
+    fr.CertificateFrame: H2Connection._on_certificate,
+    fr.PriorityFrame: H2Connection._on_priority,
+    fr.PushPromiseFrame: H2Connection._on_push_promise,
+    fr.UnknownFrame: H2Connection._on_unknown,
+}

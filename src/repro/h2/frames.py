@@ -27,6 +27,11 @@ from repro.h2.errors import ErrorCode, H2ConnectionError
 
 FRAME_HEADER_LEN = 9
 
+#: The 9-byte frame header packed as one struct: the first 32-bit word
+#: carries ``(length << 8) | type``, which is exactly the wire layout of
+#: the 24-bit length followed by the type octet.
+_HEADER_STRUCT = struct.Struct(">IBI")
+
 # Frame type codes.
 TYPE_DATA = 0x0
 TYPE_HEADERS = 0x1
@@ -72,12 +77,27 @@ class Frame:
                 ErrorCode.FRAME_SIZE_ERROR,
                 f"payload of {len(body)} bytes exceeds the 24-bit length",
             )
-        header = struct.pack(
-            ">I", len(body)
-        )[1:] + struct.pack(
-            ">BBI", self.type_code, self.flags, self.stream_id & 0x7FFFFFFF
+        return _HEADER_STRUCT.pack(
+            (len(body) << 8) | self.type_code,
+            self.flags,
+            self.stream_id & 0x7FFFFFFF,
+        ) + body
+
+    def serialize_into(self, out: bytearray) -> None:
+        """Append this frame's wire bytes to ``out`` without building an
+        intermediate ``bytes`` object per frame."""
+        body = self.payload()
+        if len(body) > 2**24 - 1:
+            raise H2ConnectionError(
+                ErrorCode.FRAME_SIZE_ERROR,
+                f"payload of {len(body)} bytes exceeds the 24-bit length",
+            )
+        out += _HEADER_STRUCT.pack(
+            (len(body) << 8) | self.type_code,
+            self.flags,
+            self.stream_id & 0x7FFFFFFF,
         )
-        return header + body
+        out += body
 
 
 @dataclass
@@ -383,6 +403,158 @@ def _strip_padding(flags: int, body: bytes, frame_type: str) -> bytes:
     return data[: len(data) - pad_length]
 
 
+def _parse_data(stream_id: int, flags: int, body: bytes) -> Frame:
+    data = _strip_padding(flags, body, "DATA")
+    return DataFrame(stream_id=stream_id, flags=flags & ~FLAG_PADDED,
+                     data=data)
+
+
+def _parse_headers(stream_id: int, flags: int, body: bytes) -> Frame:
+    block = _strip_padding(flags, body, "HEADERS")
+    if flags & FLAG_PRIORITY:
+        if len(block) < 5:
+            raise H2ConnectionError(
+                ErrorCode.FRAME_SIZE_ERROR, "HEADERS priority too short"
+            )
+        block = block[5:]  # priority fields are parsed but unused
+    return HeadersFrame(
+        stream_id=stream_id,
+        flags=flags & ~(FLAG_PADDED | FLAG_PRIORITY),
+        header_block=block,
+    )
+
+
+def _parse_priority(stream_id: int, flags: int, body: bytes) -> Frame:
+    if len(body) != 5:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR,
+            f"PRIORITY payload must be 5 bytes, got {len(body)}",
+        )
+    dep_raw = struct.unpack(">I", body[0:4])[0]
+    return PriorityFrame(
+        stream_id=stream_id,
+        dependency=dep_raw & 0x7FFFFFFF,
+        weight=body[4] + 1,
+        exclusive=bool(dep_raw & 0x80000000),
+    )
+
+
+def _parse_rst_stream(stream_id: int, flags: int, body: bytes) -> Frame:
+    if len(body) != 4:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR,
+            f"RST_STREAM payload must be 4 bytes, got {len(body)}",
+        )
+    return RstStreamFrame(
+        stream_id=stream_id,
+        error_code=_error_code(struct.unpack(">I", body)[0]),
+    )
+
+
+def _parse_settings(stream_id: int, flags: int, body: bytes) -> Frame:
+    if len(body) % 6:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR,
+            f"SETTINGS payload of {len(body)} not a multiple of 6",
+        )
+    if flags & FLAG_ACK and body:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR, "SETTINGS ACK with payload"
+        )
+    pairs = tuple(
+        struct.unpack(">HI", body[i : i + 6])
+        for i in range(0, len(body), 6)
+    )
+    return SettingsFrame(stream_id=stream_id, flags=flags, settings=pairs)
+
+
+def _parse_push_promise(stream_id: int, flags: int, body: bytes) -> Frame:
+    block = _strip_padding(flags, body, "PUSH_PROMISE")
+    if len(block) < 4:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR, "PUSH_PROMISE too short"
+        )
+    return PushPromiseFrame(
+        stream_id=stream_id,
+        flags=flags & ~FLAG_PADDED,
+        promised_stream_id=struct.unpack(">I", block[0:4])[0] & 0x7FFFFFFF,
+        header_block=block[4:],
+    )
+
+
+def _parse_ping(stream_id: int, flags: int, body: bytes) -> Frame:
+    return PingFrame(stream_id=stream_id, flags=flags, opaque=body)
+
+
+def _parse_goaway(stream_id: int, flags: int, body: bytes) -> Frame:
+    if len(body) < 8:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR, "GOAWAY too short"
+        )
+    last, code = struct.unpack(">II", body[0:8])
+    return GoAwayFrame(
+        stream_id=stream_id,
+        last_stream_id=last & 0x7FFFFFFF,
+        error_code=_error_code(code),
+        debug_data=body[8:],
+    )
+
+
+def _parse_window_update(stream_id: int, flags: int, body: bytes) -> Frame:
+    if len(body) != 4:
+        raise H2ConnectionError(
+            ErrorCode.FRAME_SIZE_ERROR,
+            f"WINDOW_UPDATE payload must be 4 bytes, got {len(body)}",
+        )
+    return WindowUpdateFrame(
+        stream_id=stream_id,
+        increment=struct.unpack(">I", body)[0] & 0x7FFFFFFF,
+    )
+
+
+def _parse_continuation(stream_id: int, flags: int, body: bytes) -> Frame:
+    return ContinuationFrame(stream_id=stream_id, flags=flags,
+                             header_block=body)
+
+
+def _parse_certificate(stream_id: int, flags: int, body: bytes) -> Frame:
+    if stream_id != 0 or not body:
+        return UnknownFrame(stream_id=stream_id, flags=flags,
+                            raw_type=TYPE_CERTIFICATE, raw_payload=body)
+    return CertificateFrame(
+        stream_id=0, flags=flags, cert_id=body[0], fragment=body[1:],
+    )
+
+
+def _parse_origin_entry(stream_id: int, flags: int, body: bytes) -> Frame:
+    return _parse_origin(stream_id, flags, body)
+
+
+_FRAME_PARSERS = {
+    TYPE_DATA: _parse_data,
+    TYPE_HEADERS: _parse_headers,
+    TYPE_PRIORITY: _parse_priority,
+    TYPE_RST_STREAM: _parse_rst_stream,
+    TYPE_SETTINGS: _parse_settings,
+    TYPE_PUSH_PROMISE: _parse_push_promise,
+    TYPE_PING: _parse_ping,
+    TYPE_GOAWAY: _parse_goaway,
+    TYPE_WINDOW_UPDATE: _parse_window_update,
+    TYPE_CONTINUATION: _parse_continuation,
+    TYPE_ORIGIN: _parse_origin_entry,
+    TYPE_CERTIFICATE: _parse_certificate,
+}
+
+
+def _parse_body(frame_type: int, stream_id: int, flags: int,
+                body: bytes) -> Frame:
+    parser = _FRAME_PARSERS.get(frame_type)
+    if parser is None:
+        return UnknownFrame(stream_id=stream_id, flags=flags,
+                            raw_type=frame_type, raw_payload=body)
+    return parser(stream_id, flags, body)
+
+
 def parse_frame(buffer: bytes) -> Tuple[Optional[Frame], bytes]:
     """Parse one frame off the front of ``buffer``.
 
@@ -391,127 +563,13 @@ def parse_frame(buffer: bytes) -> Tuple[Optional[Frame], bytes]:
     """
     if len(buffer) < FRAME_HEADER_LEN:
         return None, buffer
-    length = int.from_bytes(buffer[0:3], "big")
+    word, flags, stream_id = _HEADER_STRUCT.unpack_from(buffer, 0)
+    length = word >> 8
     if len(buffer) < FRAME_HEADER_LEN + length:
         return None, buffer
-    frame_type = buffer[3]
-    flags = buffer[4]
-    stream_id = struct.unpack(">I", buffer[5:9])[0] & 0x7FFFFFFF
-    body = buffer[FRAME_HEADER_LEN : FRAME_HEADER_LEN + length]
-    remaining = buffer[FRAME_HEADER_LEN + length :]
-
-    frame: Frame
-    if frame_type == TYPE_DATA:
-        data = _strip_padding(flags, body, "DATA")
-        frame = DataFrame(stream_id=stream_id, flags=flags & ~FLAG_PADDED,
-                          data=data)
-    elif frame_type == TYPE_HEADERS:
-        block = _strip_padding(flags, body, "HEADERS")
-        if flags & FLAG_PRIORITY:
-            if len(block) < 5:
-                raise H2ConnectionError(
-                    ErrorCode.FRAME_SIZE_ERROR, "HEADERS priority too short"
-                )
-            block = block[5:]  # priority fields are parsed but unused
-        frame = HeadersFrame(
-            stream_id=stream_id,
-            flags=flags & ~(FLAG_PADDED | FLAG_PRIORITY),
-            header_block=block,
-        )
-    elif frame_type == TYPE_PRIORITY:
-        if len(body) != 5:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR,
-                f"PRIORITY payload must be 5 bytes, got {len(body)}",
-            )
-        dep_raw = struct.unpack(">I", body[0:4])[0]
-        frame = PriorityFrame(
-            stream_id=stream_id,
-            dependency=dep_raw & 0x7FFFFFFF,
-            weight=body[4] + 1,
-            exclusive=bool(dep_raw & 0x80000000),
-        )
-    elif frame_type == TYPE_RST_STREAM:
-        if len(body) != 4:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR,
-                f"RST_STREAM payload must be 4 bytes, got {len(body)}",
-            )
-        frame = RstStreamFrame(
-            stream_id=stream_id,
-            error_code=_error_code(struct.unpack(">I", body)[0]),
-        )
-    elif frame_type == TYPE_SETTINGS:
-        if len(body) % 6:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR,
-                f"SETTINGS payload of {len(body)} not a multiple of 6",
-            )
-        if flags & FLAG_ACK and body:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR, "SETTINGS ACK with payload"
-            )
-        pairs = tuple(
-            struct.unpack(">HI", body[i : i + 6])
-            for i in range(0, len(body), 6)
-        )
-        frame = SettingsFrame(stream_id=stream_id, flags=flags,
-                              settings=pairs)
-    elif frame_type == TYPE_PUSH_PROMISE:
-        block = _strip_padding(flags, body, "PUSH_PROMISE")
-        if len(block) < 4:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR, "PUSH_PROMISE too short"
-            )
-        frame = PushPromiseFrame(
-            stream_id=stream_id,
-            flags=flags & ~FLAG_PADDED,
-            promised_stream_id=struct.unpack(">I", block[0:4])[0] & 0x7FFFFFFF,
-            header_block=block[4:],
-        )
-    elif frame_type == TYPE_PING:
-        frame = PingFrame(stream_id=stream_id, flags=flags, opaque=body)
-    elif frame_type == TYPE_GOAWAY:
-        if len(body) < 8:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR, "GOAWAY too short"
-            )
-        last, code = struct.unpack(">II", body[0:8])
-        frame = GoAwayFrame(
-            stream_id=stream_id,
-            last_stream_id=last & 0x7FFFFFFF,
-            error_code=_error_code(code),
-            debug_data=body[8:],
-        )
-    elif frame_type == TYPE_WINDOW_UPDATE:
-        if len(body) != 4:
-            raise H2ConnectionError(
-                ErrorCode.FRAME_SIZE_ERROR,
-                f"WINDOW_UPDATE payload must be 4 bytes, got {len(body)}",
-            )
-        frame = WindowUpdateFrame(
-            stream_id=stream_id,
-            increment=struct.unpack(">I", body)[0] & 0x7FFFFFFF,
-        )
-    elif frame_type == TYPE_CONTINUATION:
-        frame = ContinuationFrame(stream_id=stream_id, flags=flags,
-                                  header_block=body)
-    elif frame_type == TYPE_ORIGIN:
-        frame = _parse_origin(stream_id, flags, body)
-    elif frame_type == TYPE_CERTIFICATE:
-        if stream_id != 0 or not body:
-            frame = UnknownFrame(stream_id=stream_id, flags=flags,
-                                 raw_type=TYPE_CERTIFICATE,
-                                 raw_payload=body)
-        else:
-            frame = CertificateFrame(
-                stream_id=0, flags=flags, cert_id=body[0],
-                fragment=body[1:],
-            )
-    else:
-        frame = UnknownFrame(stream_id=stream_id, flags=flags,
-                             raw_type=frame_type, raw_payload=body)
-    return frame, remaining
+    body = bytes(buffer[FRAME_HEADER_LEN : FRAME_HEADER_LEN + length])
+    frame = _parse_body(word & 0xFF, stream_id & 0x7FFFFFFF, flags, body)
+    return frame, buffer[FRAME_HEADER_LEN + length :]
 
 
 def _parse_origin(stream_id: int, flags: int, body: bytes) -> Frame:
@@ -545,13 +603,62 @@ def _parse_origin(stream_id: int, flags: int, body: bytes) -> Frame:
 
 
 def parse_frames(buffer: bytes) -> Tuple[List[Frame], bytes]:
-    """Parse as many complete frames as the buffer holds."""
+    """Parse as many complete frames as the buffer holds.
+
+    The buffer is walked with a ``memoryview`` and an offset, so a burst
+    of N frames costs one tail copy instead of N shrinking-buffer
+    copies.
+    """
     frames: List[Frame] = []
-    while True:
-        frame, buffer = parse_frame(buffer)
-        if frame is None:
-            return frames, buffer
-        frames.append(frame)
+    view = memoryview(buffer)
+    total = len(view)
+    offset = 0
+    while total - offset >= FRAME_HEADER_LEN:
+        word, flags, stream_id = _HEADER_STRUCT.unpack_from(view, offset)
+        length = word >> 8
+        end = offset + FRAME_HEADER_LEN + length
+        if end > total:
+            break
+        body = bytes(view[offset + FRAME_HEADER_LEN : end])
+        frames.append(
+            _parse_body(word & 0xFF, stream_id & 0x7FFFFFFF, flags, body)
+        )
+        offset = end
+    if offset == 0:
+        return frames, buffer
+    return frames, bytes(view[offset:])
+
+
+def consume_frames(buffer: bytearray) -> List[Frame]:
+    """Parse complete frames out of a persistent receive buffer.
+
+    Consumed bytes are deleted from ``buffer`` in place -- the zero-copy
+    companion to :func:`parse_frames` for connection receive paths that
+    keep one reusable ``bytearray`` per connection.
+    """
+    frames: List[Frame] = []
+    offset = 0
+    try:
+        with memoryview(buffer) as view:
+            total = len(view)
+            while total - offset >= FRAME_HEADER_LEN:
+                word, flags, stream_id = _HEADER_STRUCT.unpack_from(
+                    view, offset
+                )
+                length = word >> 8
+                end = offset + FRAME_HEADER_LEN + length
+                if end > total:
+                    break
+                body = bytes(view[offset + FRAME_HEADER_LEN : end])
+                frames.append(
+                    _parse_body(word & 0xFF, stream_id & 0x7FFFFFFF,
+                                flags, body)
+                )
+                offset = end
+    finally:
+        if offset:
+            del buffer[:offset]
+    return frames
 
 
 def _error_code(value: int) -> ErrorCode:

@@ -86,6 +86,8 @@ _STATIC_NAME: Dict[str, int] = {}
 for _i, (_name, _value) in enumerate(STATIC_TABLE):
     _STATIC_NAME.setdefault(_name, _i + 1)
 
+_STATIC_LEN = len(STATIC_TABLE)
+
 #: Per-entry dynamic table overhead (RFC 7541 §4.1).
 ENTRY_OVERHEAD = 32
 
@@ -161,11 +163,22 @@ def decode_string(data: bytes, offset: int) -> Tuple[str, int]:
 
 
 class DynamicTable:
-    """The FIFO dynamic table shared by encoder/decoder logic."""
+    """The FIFO dynamic table shared by encoder/decoder logic.
+
+    Entries live in a newest-first list; ``find``/``find_name`` are
+    O(1) through insertion-counter maps instead of linear scans.  Each
+    insertion gets a monotonically increasing counter, so the entry at
+    1-based index ``i`` has counter ``insert_count - i + 1``; a map
+    hit whose counter has scrolled out of the live window is stale.
+    """
 
     def __init__(self, max_size: int = 4096) -> None:
         self.max_size = max_size
         self._entries: List[Tuple[str, str]] = []
+        self._counters: List[int] = []
+        self._insert_count = 0
+        self._find_map: Dict[Tuple[str, str], int] = {}
+        self._name_map: Dict[str, int] = {}
         self._size = 0
 
     def __len__(self) -> int:
@@ -179,21 +192,32 @@ class DynamicTable:
     def entry_size(name: str, value: str) -> int:
         return len(name.encode()) + len(value.encode()) + ENTRY_OVERHEAD
 
+    def _evict_last(self) -> None:
+        name, value = self._entries.pop()
+        counter = self._counters.pop()
+        self._size -= self.entry_size(name, value)
+        if self._find_map.get((name, value)) == counter:
+            del self._find_map[(name, value)]
+        if self._name_map.get(name) == counter:
+            del self._name_map[name]
+
     def add(self, name: str, value: str) -> None:
         needed = self.entry_size(name, value)
         while self._entries and self._size + needed > self.max_size:
-            evicted_name, evicted_value = self._entries.pop()
-            self._size -= self.entry_size(evicted_name, evicted_value)
+            self._evict_last()
         if needed <= self.max_size:
+            self._insert_count += 1
             self._entries.insert(0, (name, value))
+            self._counters.insert(0, self._insert_count)
+            self._find_map[(name, value)] = self._insert_count
+            self._name_map[name] = self._insert_count
             self._size += needed
         # An entry larger than the table empties it (RFC 7541 §4.4).
 
     def resize(self, new_max: int) -> None:
         self.max_size = new_max
         while self._entries and self._size > self.max_size:
-            name, value = self._entries.pop()
-            self._size -= self.entry_size(name, value)
+            self._evict_last()
 
     def get(self, index: int) -> Tuple[str, str]:
         """1-based index into the dynamic portion of the address space."""
@@ -202,19 +226,28 @@ class DynamicTable:
         return self._entries[index - 1]
 
     def find(self, name: str, value: str) -> Optional[int]:
-        for i, entry in enumerate(self._entries):
-            if entry == (name, value):
-                return i + 1
-        return None
+        counter = self._find_map.get((name, value))
+        if counter is None:
+            return None
+        # The newest duplicate always outlives older ones (FIFO
+        # eviction), so a live map hit is the first-scan match.
+        return self._insert_count - counter + 1
 
     def find_name(self, name: str) -> Optional[int]:
-        for i, (entry_name, _) in enumerate(self._entries):
-            if entry_name == name:
-                return i + 1
-        return None
+        counter = self._name_map.get(name)
+        if counter is None:
+            return None
+        return self._insert_count - counter + 1
 
 
 Header = Tuple[str, str]
+
+#: Memoized wire bytes for every exact static-table match -- these
+#: never depend on connection state, so one table serves all encoders.
+_STATIC_ENCODED: Dict[Header, bytes] = {
+    entry: encode_integer(index, 7, 0x80)
+    for entry, index in _STATIC_FULL.items()
+}
 
 
 class HpackEncoder:
@@ -232,9 +265,30 @@ class HpackEncoder:
 
     def encode(self, headers: Iterable[Header]) -> bytes:
         out = bytearray()
+        table = self._table
         for name, value in headers:
             name = name.lower()
-            out += self._encode_one(name, value)
+            if name in NEVER_INDEX:
+                # Literal never indexed (pattern 0001); never touches
+                # dynamic state.
+                out += self._literal(name, value, first_byte=0x10,
+                                     prefix=4)
+                continue
+            static = _STATIC_ENCODED.get((name, value))
+            if static is not None:
+                out += static
+                continue
+            dynamic_index = table.find(name, value)
+            if dynamic_index is not None:
+                index = dynamic_index + _STATIC_LEN
+                if index < 127:
+                    out.append(0x80 | index)
+                else:
+                    out += encode_integer(index, 7, 0x80)
+                continue
+            # Literal with incremental indexing (pattern 01).
+            out += self._literal(name, value, first_byte=0x40, prefix=6)
+            table.add(name, value)
         return bytes(out)
 
     def _encode_one(self, name: str, value: str) -> bytes:
@@ -279,6 +333,9 @@ class HpackDecoder:
         self._table = DynamicTable(max_table_size)
         #: Upper bound the decoder will let the encoder resize to.
         self._settings_max = max_table_size
+        #: Interned (name, value) tuples: repeated literals across
+        #: blocks share one object instead of reallocating per decode.
+        self._interned: Dict[Header, Header] = {}
 
     @property
     def table(self) -> DynamicTable:
@@ -306,8 +363,10 @@ class HpackDecoder:
                 headers.append(self._lookup(index))
             elif byte & 0x40:  # literal with incremental indexing
                 name, value, offset = self._decode_literal(block, offset, 6)
-                self._table.add(name, value)
-                headers.append((name, value))
+                pair = (name, value)
+                pair = self._interned.setdefault(pair, pair)
+                self._table.add(*pair)
+                headers.append(pair)
             elif byte & 0x20:  # dynamic table size update
                 new_size, offset = decode_integer(block, offset, 5)
                 if new_size > self._settings_max:
@@ -318,7 +377,8 @@ class HpackDecoder:
                 self._table.resize(new_size)
             else:  # literal without indexing (0000) or never indexed (0001)
                 name, value, offset = self._decode_literal(block, offset, 4)
-                headers.append((name, value))
+                pair = (name, value)
+                headers.append(self._interned.setdefault(pair, pair))
         return headers
 
     def _decode_literal(

@@ -54,10 +54,35 @@ def validate_setting(identifier: int, value: int) -> None:
 
 
 class Settings:
-    """The settings in force for one direction of a connection."""
+    """The settings in force for one direction of a connection.
+
+    The named parameters are plain attributes refreshed on ``apply``;
+    they sit on connection hot paths (every DATA frame consults
+    ``max_frame_size``), so they must not cost a dict lookup per read.
+    """
+
+    __slots__ = (
+        "_values",
+        "header_table_size",
+        "enable_push",
+        "max_concurrent_streams",
+        "initial_window_size",
+        "max_frame_size",
+    )
 
     def __init__(self) -> None:
         self._values: Dict[int, int] = dict(DEFAULT_SETTINGS)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        values = self._values
+        self.header_table_size = values[SettingId.HEADER_TABLE_SIZE]
+        self.enable_push = bool(values[SettingId.ENABLE_PUSH])
+        self.max_concurrent_streams = values[
+            SettingId.MAX_CONCURRENT_STREAMS
+        ]
+        self.initial_window_size = values[SettingId.INITIAL_WINDOW_SIZE]
+        self.max_frame_size = values[SettingId.MAX_FRAME_SIZE]
 
     def get(self, identifier: int) -> int:
         return self._values.get(identifier, 0)
@@ -66,24 +91,5 @@ class Settings:
         validate_setting(identifier, value)
         if identifier in SettingId._value2member_map_:
             self._values[identifier] = value
+            self._refresh()
         # Unknown identifiers MUST be ignored (RFC 7540 §6.5.2).
-
-    @property
-    def header_table_size(self) -> int:
-        return self._values[SettingId.HEADER_TABLE_SIZE]
-
-    @property
-    def enable_push(self) -> bool:
-        return bool(self._values[SettingId.ENABLE_PUSH])
-
-    @property
-    def max_concurrent_streams(self) -> int:
-        return self._values[SettingId.MAX_CONCURRENT_STREAMS]
-
-    @property
-    def initial_window_size(self) -> int:
-        return self._values[SettingId.INITIAL_WINDOW_SIZE]
-
-    @property
-    def max_frame_size(self) -> int:
-        return self._values[SettingId.MAX_FRAME_SIZE]

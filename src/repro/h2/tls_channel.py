@@ -45,6 +45,7 @@ from repro.transport.framing import (  # noqa: F401
     REC_SHELLO,
     REC_TICKET,
     RECORD_HEADER_LEN,
+    consume_records,
     pack_record,
     parse_records,
 )
@@ -148,7 +149,7 @@ class TlsChannel:
         self.on_app_data: Optional[Callable[[bytes], None]] = None
         self.on_established: Optional[Callable[[], None]] = None
         self.on_failed: Optional[Callable[[str], None]] = None
-        self._buffer = b""
+        self._buffer = bytearray()
         #: What an on-path observer saw in the clear ("" if ECH).
         self.observed_sni = ""
 
@@ -172,8 +173,7 @@ class TlsChannel:
 
     def _on_bytes(self, data: bytes) -> None:
         self._buffer += data
-        records, self._buffer = parse_records(self._buffer)
-        for record_type, payload in records:
+        for record_type, payload in consume_records(self._buffer):
             self._on_record(record_type, payload)
 
     def _on_record(self, record_type: int, payload: bytes) -> None:

@@ -1,35 +1,61 @@
 """The discrete-event loop.
 
-Events are ``(time, sequence, callback)`` triples kept in a heap.  The
+Events are ``(time, sequence, event)`` triples kept in a heap.  The
 sequence number breaks ties so that two events scheduled for the same
 instant run in the order they were scheduled, which keeps the whole
 simulation deterministic.
+
+Heap entries are plain tuples, so ordering resolves entirely inside
+the C tuple comparison -- the :class:`Event` handle itself is never
+compared (sequence numbers are unique) and exists only to carry the
+callback and the ``cancel`` flag.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.netsim.clock import SimClock
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
     Instances sort by ``(when, seq)``, which is what the heap relies on.
     """
 
-    when: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("when", "seq", "callback", "cancelled")
+
+    def __init__(
+        self,
+        when: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the loop skips it when popped."""
         self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.when, self.seq) == (other.when, other.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(when={self.when!r}, seq={self.seq!r}, "
+            f"callback={self.callback!r}, cancelled={self.cancelled!r})"
+        )
 
 
 class EventLoop:
@@ -37,7 +63,7 @@ class EventLoop:
 
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._executed = 0
 
@@ -66,9 +92,10 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule at {when}, clock is already at {self.clock.now()}"
             )
-        event = Event(when=when, seq=self._seq, callback=callback)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(when, seq, callback)
+        heapq.heappush(self._heap, (when, seq, event))
         return event
 
     def pending(self) -> int:
@@ -77,11 +104,12 @@ class EventLoop:
 
     def step(self) -> bool:
         """Run the next event, if any.  Returns ``False`` when idle."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _seq, event = heapq.heappop(heap)
             if event.cancelled:
                 continue
-            self.clock.advance_to(event.when)
+            self.clock.advance_to(when)
             event.callback()
             self._executed += 1
             return True
@@ -94,8 +122,17 @@ class EventLoop:
         loops; hitting it raises :class:`RuntimeError` rather than
         silently hanging the test suite.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        advance_to = self.clock.advance_to
         count = 0
-        while self.step():
+        while heap:
+            when, _seq, event = heappop(heap)
+            if event.cancelled:
+                continue
+            advance_to(when)
+            event.callback()
+            self._executed += 1
             count += 1
             if count >= max_events:
                 raise RuntimeError(
@@ -110,15 +147,21 @@ class EventLoop:
         The clock finishes at exactly ``when`` even if the last event was
         earlier, so callers can reason about elapsed wall-clock windows.
         """
+        heap = self._heap
+        heappop = heapq.heappop
+        advance_to = self.clock.advance_to
         count = 0
-        while self._heap:
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            head_when, _head_seq, head_event = heap[0]
+            if head_event.cancelled:
+                heappop(heap)
                 continue
-            if head.when > when:
+            if head_when > when:
                 break
-            self.step()
+            heappop(heap)
+            advance_to(head_when)
+            head_event.callback()
+            self._executed += 1
             count += 1
             if count >= max_events:
                 raise RuntimeError(

@@ -199,11 +199,8 @@ class Network:
         ``on_refused`` handler the error propagates when the event runs.
         """
         service = self._services.get((server_ip, port))
-        rtt = self.latency.rtt(client.region, "unknown-region")
-        if service is not None:
-            rtt = self.latency.rtt(client.region, service.host.region)
-
         if service is None:
+            rtt = self.latency.rtt(client.region, "unknown-region")
             error = ConnectionRefused(f"nothing listening at {server_ip}:{port}")
 
             def refuse() -> None:
@@ -215,6 +212,7 @@ class Network:
             self.loop.schedule(rtt, refuse)
             return
 
+        rtt = self.latency.rtt(client.region, service.host.region)
         client_end, server_end = Transport.pair(
             self.loop,
             self.latency,

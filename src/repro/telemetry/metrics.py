@@ -272,6 +272,11 @@ class RegistryStats:
 
     _prefix: ClassVar[str] = ""
     _counters: ClassVar[Tuple[str, ...]] = ()
+    _counter_set: ClassVar[frozenset] = frozenset()
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._counter_set = frozenset(cls._counters)
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  **labels) -> None:
@@ -279,22 +284,31 @@ class RegistryStats:
                            registry if registry is not None
                            else MetricsRegistry())
         object.__setattr__(self, "_labels", dict(labels))
-        for name in type(self)._counters:
-            self.registry.counter(type(self)._prefix + name, **labels)
+        # Resolve each counter once; attribute access must not pay the
+        # registry's label-key construction on every bump.
+        object.__setattr__(self, "_cache", {
+            name: self.registry.counter(type(self)._prefix + name,
+                                        **labels)
+            for name in type(self)._counters
+        })
 
     def _series(self, name: str) -> Counter:
-        return self.registry.counter(type(self)._prefix + name,
-                                     **self._labels)
+        series = self._cache.get(name)
+        if series is None:
+            series = self.registry.counter(type(self)._prefix + name,
+                                           **self._labels)
+            self._cache[name] = series
+        return series
 
     def __getattr__(self, name: str):
-        if name in type(self)._counters:
+        if name in type(self)._counter_set:
             return self._series(name).value
         raise AttributeError(
             f"{type(self).__name__} has no attribute {name!r}"
         )
 
     def __setattr__(self, name: str, value) -> None:
-        if name in type(self)._counters:
+        if name in type(self)._counter_set:
             self._series(name).set(value)
         else:
             object.__setattr__(self, name, value)

@@ -25,20 +25,62 @@ REC_APPDATA = 0x17
 REC_ALERT = 0x15
 
 
+_RECORD_STRUCT = struct.Struct(">BI")
+
+
 def pack_record(record_type: int, payload: bytes) -> bytes:
-    return struct.pack(">BI", record_type, len(payload)) + payload
+    return _RECORD_STRUCT.pack(record_type, len(payload)) + payload
 
 
 def parse_records(buffer: bytes) -> Tuple[List[Tuple[int, bytes]], bytes]:
-    """Parse complete records off ``buffer``; returns (records, rest)."""
+    """Parse complete records off ``buffer``; returns (records, rest).
+
+    Walks the buffer with a ``memoryview`` and an offset so a burst of N
+    records costs one tail copy instead of N shrinking-buffer copies.
+    """
     records: List[Tuple[int, bytes]] = []
-    while len(buffer) >= RECORD_HEADER_LEN:
-        record_type, length = struct.unpack(
-            ">BI", buffer[:RECORD_HEADER_LEN]
-        )
-        if len(buffer) < RECORD_HEADER_LEN + length:
+    view = memoryview(buffer)
+    total = len(view)
+    offset = 0
+    while total - offset >= RECORD_HEADER_LEN:
+        record_type, length = _RECORD_STRUCT.unpack_from(view, offset)
+        end = offset + RECORD_HEADER_LEN + length
+        if end > total:
             break
-        payload = buffer[RECORD_HEADER_LEN : RECORD_HEADER_LEN + length]
-        buffer = buffer[RECORD_HEADER_LEN + length :]
-        records.append((record_type, payload))
-    return records, buffer
+        records.append(
+            (record_type, bytes(view[offset + RECORD_HEADER_LEN : end]))
+        )
+        offset = end
+    if offset == 0:
+        return records, buffer
+    return records, bytes(view[offset:])
+
+
+def consume_records(buffer: bytearray) -> List[Tuple[int, bytes]]:
+    """Parse complete records out of a persistent receive buffer.
+
+    Consumed bytes are deleted from ``buffer`` in place, so channels can
+    keep one reusable ``bytearray`` per connection instead of rebuilding
+    a ``bytes`` object on every delivery.
+    """
+    records: List[Tuple[int, bytes]] = []
+    offset = 0
+    try:
+        with memoryview(buffer) as view:
+            total = len(view)
+            while total - offset >= RECORD_HEADER_LEN:
+                record_type, length = _RECORD_STRUCT.unpack_from(
+                    view, offset
+                )
+                end = offset + RECORD_HEADER_LEN + length
+                if end > total:
+                    break
+                records.append(
+                    (record_type,
+                     bytes(view[offset + RECORD_HEADER_LEN : end]))
+                )
+                offset = end
+    finally:
+        if offset:
+            del buffer[:offset]
+    return records

@@ -1,0 +1,132 @@
+"""Tests for ``repro profile`` (hot-spot profiling subcommand).
+
+The command's contract: hot-spot table and throughput on stdout,
+diagnostics on stderr (the repo-wide stdout/stderr split), exit 0 on
+success, exit 1 when the collected trace fails validation, and a
+``--trace`` artifact that both the Chrome trace loader and the
+telemetry validation harness accept.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.sites == 150
+        assert args.seed == 2022
+        assert args.policy == "chromium"
+        assert args.sort == "cumulative"
+        assert args.top == 25
+        assert args.trace is None
+        assert args.pstats is None
+
+    def test_sort_choices(self):
+        args = build_parser().parse_args(["profile", "--sort", "tottime"])
+        assert args.sort == "tottime"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--sort", "ncalls"])
+
+    def test_top_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--top", "0"])
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--policy", "safari"])
+
+
+class TestProfileCommand:
+    def test_exit_zero_and_stream_split(self, capsys):
+        assert main(["profile", "--sites", "8", "--shards", "2",
+                     "--top", "5"]) == 0
+        captured = capsys.readouterr()
+        # Results on stdout: throughput line plus the hot-spot table.
+        assert "profiled 8 sites" in captured.out
+        assert "Top 5 functions by cumulative time" in captured.out
+        assert "cumtime (s)" in captured.out
+        # Diagnostics on stderr only.
+        assert "profile: crawling 8 sites" in captured.err
+        assert "jobs=1" in captured.err
+        assert "profile:" not in captured.out
+
+    def test_hot_spot_table_names_crawl_code(self, capsys):
+        assert main(["profile", "--sites", "8", "--shards", "1",
+                     "--top", "20"]) == 0
+        out = capsys.readouterr().out
+        # The crawl entry point must show up under its shortened
+        # repo-relative name.
+        assert "repro/dataset/" in out
+
+    def test_tottime_sort(self, capsys):
+        assert main(["profile", "--sites", "6", "--shards", "1",
+                     "--sort", "tottime", "--top", "5"]) == 0
+        assert "by tottime time" in capsys.readouterr().out
+
+    def test_pstats_dump_is_loadable(self, capsys, tmp_path):
+        import pstats
+
+        dump = tmp_path / "crawl.pstats"
+        assert main(["profile", "--sites", "6", "--shards", "1",
+                     "--pstats", str(dump)]) == 0
+        captured = capsys.readouterr()
+        assert str(dump) in captured.err
+        stats = pstats.Stats(str(dump))
+        assert stats.total_tt > 0
+
+    def test_trace_artifact_validates_and_loads(self, capsys, tmp_path):
+        trace_out = tmp_path / "profile_trace.json"
+        assert main(["profile", "--sites", "8", "--shards", "2",
+                     "--trace", str(trace_out)]) == 0
+        captured = capsys.readouterr()
+        assert "spans validated against" in captured.err
+        assert str(trace_out) in captured.err
+        # Chrome trace_event JSON (object form): non-empty
+        # traceEvents with the required per-event keys.
+        doc = json.loads(trace_out.read_text())
+        events = doc["traceEvents"]
+        assert events
+        assert {"name", "ph", "pid"} <= set(events[0])
+
+    def test_trace_spans_satisfy_validation_harness(self, tmp_path):
+        """Independent check: rebuild the same crawl and validate the
+        span JSONL the command wrote against it."""
+        from repro.dataset.generator import DatasetConfig
+        from repro.dataset.shard import CrawlParams, ParallelCrawler
+        from repro.telemetry.exporters import spans_from_jsonl
+        from repro.telemetry.validation import validate_crawl_trace
+
+        trace_out = tmp_path / "profile_trace.jsonl"
+        assert main(["profile", "--sites", "8", "--shards", "2",
+                     "--trace", str(trace_out)]) == 0
+        spans = spans_from_jsonl(trace_out.read_text())
+        assert spans
+        crawler = ParallelCrawler(
+            DatasetConfig(site_count=8, seed=2022),
+            params=CrawlParams(policy="chromium",
+                               speculative_rate=0.10),
+            shard_count=2, jobs=1,
+        )
+        result = crawler.crawl()
+        assert validate_crawl_trace(result, spans) == []
+
+    def test_profile_does_not_perturb_the_crawl(self, capsys, tmp_path):
+        """Profiling is observation only: the archives a profiled
+        crawl produces are identical to an unprofiled crawl's."""
+        from repro.dataset.generator import DatasetConfig
+        from repro.dataset.shard import CrawlParams, ParallelCrawler
+
+        assert main(["profile", "--sites", "8", "--shards", "2"]) == 0
+        capsys.readouterr()
+        crawler = ParallelCrawler(
+            DatasetConfig(site_count=8, seed=2022),
+            params=CrawlParams(policy="chromium",
+                               speculative_rate=0.10),
+            shard_count=2, jobs=1,
+        )
+        result = crawler.crawl()
+        assert result.attempted == 8
