@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Traffic-simulation throughput benchmark: visits/sec at jobs=1 vs N.
+
+Runs the population-scale traffic scenario serially and in parallel on
+the same shard plan, verifies the two produce byte-identical aggregate
+JSONL (the determinism guarantee the user-shard design makes), and
+writes the measurements to a JSON file so future changes have a perf
+trajectory to compare against::
+
+    PYTHONPATH=src python benchmarks/bench_traffic.py \
+        --users 200 --shards 4 --jobs 4 --output BENCH_traffic.json
+
+``scripts/bench.sh`` runs this as an informational stage -- the
+traffic runner rides the same simulation hot paths the crawl gate
+already protects, so there is no second hard gate here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=200)
+    parser.add_argument("--sites", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated scenario duration in seconds")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel run")
+    parser.add_argument("--scenario", default="origin",
+                        choices=("baseline", "origin", "ideal-san"))
+    parser.add_argument("--output", default="BENCH_traffic.json")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip the jobs=1 == jobs=N aggregate check")
+    return parser.parse_args(argv)
+
+
+def timed_run(scenario, shard_count, jobs):
+    from repro.traffic import run_scenario
+
+    started = time.perf_counter()
+    aggregate, trace = run_scenario(
+        scenario, shard_count=shard_count, jobs=jobs, audit=True
+    )
+    elapsed = time.perf_counter() - started
+    return aggregate, trace, elapsed
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+
+    from repro.audit.log import events_to_jsonl
+    from repro.traffic import ScenarioConfig, scenario_for_policy
+
+    base = ScenarioConfig(
+        users=args.users,
+        site_count=args.sites,
+        seed=args.seed,
+        duration_ms=args.duration * 1000.0,
+    )
+    scenario = scenario_for_policy(base, args.scenario)
+
+    print(f"bench_traffic: {args.users} users, {args.sites} sites, "
+          f"{args.shards} shards, scenario={args.scenario}, "
+          f"cpu_count={multiprocessing.cpu_count()}")
+
+    serial, serial_trace, serial_s = timed_run(
+        scenario, args.shards, jobs=1
+    )
+    visits = sum(tally.visits for tally in serial.cohorts.values())
+    serial_rate = visits / serial_s
+    print(f"  jobs=1: {serial_s:.2f}s  ({visits} visits, "
+          f"{serial_rate:.2f} visits/sec)")
+
+    parallel_informational = multiprocessing.cpu_count() < 2
+    parallel, parallel_trace, parallel_s = timed_run(
+        scenario, args.shards, jobs=args.jobs
+    )
+    parallel_rate = visits / parallel_s
+    note = " (informational: single CPU)" if parallel_informational \
+        else ""
+    print(f"  jobs={args.jobs}: {parallel_s:.2f}s  "
+          f"({parallel_rate:.2f} visits/sec){note}")
+
+    identical = None
+    if not args.skip_verify:
+        identical = (
+            serial.to_jsonl() == parallel.to_jsonl()
+            and events_to_jsonl(serial_trace.audit)
+            == events_to_jsonl(parallel_trace.audit)
+        )
+        print(f"  aggregate + audit identical across jobs: {identical}")
+        if not identical:
+            print("bench_traffic: FAIL -- parallel run diverged from "
+                  "serial", file=sys.stderr)
+            return 1
+
+    speedup = serial_s / parallel_s
+    print(f"  speedup: {speedup:.2f}x")
+
+    totals = serial.totals
+    document = {
+        "users": args.users,
+        "sites": args.sites,
+        "seed": args.seed,
+        "scenario": args.scenario,
+        "duration_s": args.duration,
+        "shards": args.shards,
+        "jobs": args.jobs,
+        "cpu_count": multiprocessing.cpu_count(),
+        "python": platform.python_version(),
+        "identical": identical,
+        "visits": visits,
+        "edge_connections": totals.connections,
+        "handshakes": totals.handshakes,
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "visits_per_sec": round(serial_rate, 3),
+        },
+        "parallel": {
+            "seconds": round(parallel_s, 3),
+            "visits_per_sec": round(parallel_rate, 3),
+            "informational": parallel_informational,
+        },
+        "speedup": round(speedup, 3),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"  wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,3 +151,22 @@ for name, base in baseline["results"].items():
 
 sys.exit(1 if failed else 0)
 EOF
+
+# Traffic-simulation benchmark: informational only.  The traffic
+# runner rides the same simulation hot paths the crawl gate already
+# protects; this stage reports visits/sec (and re-proves the jobs=1 ==
+# jobs=N byte-identity, which IS a hard failure) without adding a
+# second throughput gate.
+TRAFFIC_USERS="${REPRO_BENCH_TRAFFIC_USERS:-60}"
+TRAFFIC_SITES="${REPRO_BENCH_TRAFFIC_SITES:-12}"
+if [ -n "${REPRO_BENCH_OUT_DIR:-}" ]; then
+    TRAFFIC_CURRENT="$REPRO_BENCH_OUT_DIR/bench_traffic.json"
+else
+    TRAFFIC_CURRENT="$(mktemp /tmp/bench_traffic.XXXXXX.json)"
+    trap 'rm -f "$CURRENT" "$MICRO_CURRENT" "$TRAFFIC_CURRENT"' EXIT
+fi
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_traffic.py \
+    --users "$TRAFFIC_USERS" --sites "$TRAFFIC_SITES" \
+    --duration 15 --shards 2 --jobs "$JOBS" \
+    --output "$TRAFFIC_CURRENT"
+echo "bench.sh: traffic stage informational (identity check gated above)"

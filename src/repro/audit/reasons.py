@@ -44,6 +44,7 @@ class ReasonCode(str, Enum):
     MISS_DNS_BEFORE_REUSE = "MISS_DNS_BEFORE_REUSE"
     MISS_DNS_NXDOMAIN = "MISS_DNS_NXDOMAIN"
     MISS_REQUEST_FAILED = "MISS_REQUEST_FAILED"
+    MISS_RETRY_AFTER_GOAWAY = "MISS_RETRY_AFTER_GOAWAY"
     MISS_UNATTRIBUTED = "MISS_UNATTRIBUTED"
 
     # -- model baselines: costs the ideal client also pays ----------------
@@ -80,6 +81,7 @@ class ReasonCode(str, Enum):
     H2_ORIGIN_FRAME_RECEIVED = "H2_ORIGIN_FRAME_RECEIVED"
     H2_GOAWAY = "H2_GOAWAY"
     H2_MISDIRECTED_421 = "H2_MISDIRECTED_421"
+    EDGE_OVERLOAD_GOAWAY = "EDGE_OVERLOAD_GOAWAY"
 
     # -- middlebox interference (§6.7) ------------------------------------
     MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME = "MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME"
@@ -166,6 +168,9 @@ REASON_DESCRIPTIONS: Dict[ReasonCode, str] = {
         "DNS resolution failed (NXDOMAIN)",
     ReasonCode.MISS_REQUEST_FAILED:
         "request failed; the model does not budget failed requests",
+    ReasonCode.MISS_RETRY_AFTER_GOAWAY:
+        "connection refused with an overload GOAWAY; the request was "
+        "re-dialed on a fresh connection after backoff",
     ReasonCode.MISS_UNATTRIBUTED:
         "no decision event was recorded for this request (bug guard)",
     ReasonCode.MISS_DIFFERENT_AS:
@@ -225,6 +230,9 @@ REASON_DESCRIPTIONS: Dict[ReasonCode, str] = {
         "server sent GOAWAY; connection unusable for new requests",
     ReasonCode.H2_MISDIRECTED_421:
         "stream answered 421 Misdirected Request",
+    ReasonCode.EDGE_OVERLOAD_GOAWAY:
+        "edge at its concurrent-connection limit refused the "
+        "connection with GOAWAY ENHANCE_YOUR_CALM after the handshake",
     ReasonCode.MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME:
         "non-compliant middlebox tore the connection down on an "
         "unknown frame type (§6.7)",

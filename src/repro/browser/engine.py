@@ -71,6 +71,14 @@ class BrowserContext:
     #: pre-h3 browser; ``("h2", "h3")`` adds the QUIC dialer, HTTPS
     #: DNS-record awareness, and Alt-Svc upgrades.
     alpn: Sequence[str] = ("h2",)
+    #: How many times a request may be re-dialed after an edge refused
+    #: the connection with an overload GOAWAY (ENHANCE_YOUR_CALM).  0
+    #: (the default) keeps the pre-capacity-model behaviour: the
+    #: refusal surfaces as a failed request.
+    goaway_retry_limit: int = 0
+    #: Base backoff before an overload retry; attempt ``n`` waits
+    #: ``n * backoff`` so repeated refusals spread out.
+    goaway_retry_backoff_ms: float = 120.0
 
     @property
     def tracer(self):
@@ -115,6 +123,18 @@ class _FetchState:
         self.h3_upgrade = False
         self.coalesced = False
         self.retried_after_421 = False
+        #: Whether this fetch runs in the anonymous connection
+        #: partition; an overload retry must stay in its partition.
+        self.anonymous = False
+        #: Connection-attempt epoch: bumped by every
+        #: ``_open_and_request`` and overload retry, so callbacks from
+        #: a superseded attempt (its GOAWAY failure *and* the status-0
+        #: responses from the dying transport) are recognized as stale
+        #: and cannot double-record this fetch.
+        self.attempt = 0
+        #: True once a final HAR entry was recorded for this fetch.
+        self.settled = False
+        self.goaway_retries = 0
         self.facts: Optional[ConnectionFacts] = None
         self.span = None
         #: Why the request was served the way it was; set at each
@@ -231,6 +251,7 @@ class PageLoad:
         )
         self._begin_fetch_span(state, root=False)
         anonymous = resource.fetch_mode is not FetchMode.NORMAL
+        state.anonymous = anonymous
 
         if not resource.secure:
             state.reason = ReasonCode.MISS_CLEARTEXT_HTTP
@@ -382,6 +403,8 @@ class PageLoad:
 
     def _open_and_request(self, state: _FetchState, anonymous: bool) -> None:
         connect_started = self.loop.now()
+        state.attempt += 1
+        attempt = state.attempt
         tls13 = self.context.tls13
         if (
             tls13
@@ -396,13 +419,17 @@ class PageLoad:
             ip=state.dns_addresses[0],
             available_set=state.dns_addresses,
             on_ready=lambda f: on_ready(f),
-            on_failed=lambda reason: self._record_failure(state, reason),
+            on_failed=lambda reason: self._connection_failed(
+                state, attempt, reason
+            ),
             anonymous=anonymous,
             tls13=tls13,
             dialer=dialer,
         )
 
         def on_ready(facts: ConnectionFacts) -> None:
+            if state.settled or state.attempt != attempt:
+                return
             session = facts.session
             state.timings.connect = (
                 session.tcp_connected_at - connect_started
@@ -413,6 +440,63 @@ class PageLoad:
             self._issue(state, facts)
 
         self._maybe_race_duplicate(state, anonymous, dialer)
+
+    def _connection_failed(
+        self, state: _FetchState, attempt: int, reason: str
+    ) -> None:
+        """A connection this fetch was riding failed before its
+        response: retry overload GOAWAYs (budget permitting), record
+        everything else as a failed request."""
+        if state.settled or state.attempt != attempt:
+            return
+        if (
+            reason.startswith("GOAWAY: ENHANCE_YOUR_CALM")
+            and state.goaway_retries < self.context.goaway_retry_limit
+        ):
+            self._retry_after_goaway(state)
+            return
+        self._record_failure(state, reason)
+
+    def _maybe_retry_goaway(self, state: _FetchState) -> bool:
+        """Status-0 response path of an overload refusal: the server
+        closed the transport right after its GOAWAY, so the pending
+        request surfaces as a dead response before (or instead of) the
+        session-failure callback."""
+        session = state.facts.session if state.facts else None
+        failure = getattr(session, "failed", None) or ""
+        if not failure.startswith("GOAWAY: ENHANCE_YOUR_CALM"):
+            return False
+        if state.goaway_retries >= self.context.goaway_retry_limit:
+            return False
+        self._retry_after_goaway(state)
+        return True
+
+    def _retry_after_goaway(self, state: _FetchState) -> None:
+        state.goaway_retries += 1
+        state.attempt += 1  # invalidate the dead attempt's callbacks
+        state.coalesced = False
+        state.reason = ReasonCode.MISS_RETRY_AFTER_GOAWAY
+        audit = self.context.audit
+        if audit.enabled:
+            audit.record(
+                "retry", ReasonCode.MISS_RETRY_AFTER_GOAWAY,
+                page=self.page.url, hostname=state.hostname,
+                path=state.path, decision="retry",
+                attempt=state.goaway_retries,
+            )
+        backoff = (
+            self.context.goaway_retry_backoff_ms * state.goaway_retries
+        )
+        # Re-dial via DNS (warm cache on a retry): a fetch refused
+        # while riding a pooled connection never resolved for itself,
+        # and a fresh lookup lets the retry coalesce onto a surviving
+        # connection instead of hammering the refusing edge.
+        self.loop.schedule(
+            backoff,
+            lambda: self._resolve_then_connect(
+                state, anonymous=state.anonymous
+            ),
+        )
 
     def _maybe_race_duplicate(
         self, state: _FetchState, anonymous: bool, dialer=None
@@ -457,11 +541,15 @@ class PageLoad:
             self._issue(state, facts)
 
         facts.session.when_ready(
-            go, lambda reason: self._record_failure(state, reason)
+            go,
+            lambda reason: self._connection_failed(
+                state, state.attempt, reason
+            ),
         )
 
     def _issue(self, state: _FetchState, facts: ConnectionFacts) -> None:
         state.facts = facts
+        attempt = state.attempt
         referer = []
         if state.resource is not None:
             # Truncated at the page, as the paper's privacy-preserving
@@ -471,6 +559,8 @@ class PageLoad:
             referer.append(("user-agent", self.context.user_agent))
 
         def on_response(response) -> None:
+            if state.settled or state.attempt != attempt:
+                return
             if response.status == 421 and not state.retried_after_421:
                 # Misdirected: retry on a dedicated connection, keeping
                 # the accumulated penalty in the same HAR entry.
@@ -478,6 +568,8 @@ class PageLoad:
                 state.coalesced = False
                 state.reason = ReasonCode.MISS_MISDIRECTED_421
                 self._open_and_request(state, anonymous=False)
+                return
+            if response.status == 0 and self._maybe_retry_goaway(state):
                 return
             self._record_success(state, response)
 
@@ -576,6 +668,9 @@ class PageLoad:
         self, state: _FetchState, response,
         plain_http: bool = False,
     ) -> None:
+        if state.settled:
+            return
+        state.settled = True
         if self.quic_dialer is not None and not plain_http:
             # Remember Alt-Svc advertisements so the *next* fetch to
             # this hostname upgrades to h3 (RFC 7838 semantics: the
@@ -629,6 +724,9 @@ class PageLoad:
         self._done_one()
 
     def _record_cached(self, state: _FetchState) -> None:
+        if state.settled:
+            return
+        state.settled = True
         entry = self._make_entry(state, 200, 0)
         entry.protocol = "cache"
         self.entries.append(entry)
@@ -638,6 +736,9 @@ class PageLoad:
         self._done_one()
 
     def _record_failure(self, state: _FetchState, reason: str) -> None:
+        if state.settled:
+            return
+        state.settled = True
         entry = self._make_entry(state, 0, 0)
         self.entries.append(entry)
         if state.resource is None:

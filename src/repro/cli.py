@@ -588,6 +588,162 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def _print_traffic_summary(aggregate) -> None:
+    totals = aggregate.totals
+    completed = aggregate.completed
+    plt = (
+        sum(t.plt_total_ms for t in aggregate.cohorts.values())
+        / completed if completed else 0.0
+    )
+    print(
+        f"simulated {aggregate.users} users, {aggregate.visits} visits "
+        f"({completed} completed, {aggregate.failed} failed) over "
+        f"{aggregate.duration_ms / 1000:.0f}s"
+    )
+    print(
+        f"edge load: {totals.connections} connections "
+        f"(peak {totals.peak_concurrent} concurrent), "
+        f"{totals.handshakes} handshakes "
+        f"({format_pct(totals.resumption_rate)} resumed), "
+        f"{totals.requests} requests "
+        f"({format_pct(totals.coalesced_share)} coalesced), "
+        f"{totals.goaways} overload GOAWAYs, "
+        f"{aggregate.retries} client retries"
+    )
+    print(f"client: {aggregate.dns_queries} DNS queries, "
+          f"mean PLT {plt:.0f} ms")
+
+
+def _print_traffic_tables(aggregate) -> None:
+    print()
+    print(render_table(
+        "Per-cohort outcomes",
+        ["Cohort", "Users", "Visits", "Revisits", "OK", "Failed",
+         "Cached", "Mean PLT ms"],
+        [(name, tally.users, tally.visits, tally.revisits,
+          tally.completed, tally.failed, tally.cached_responses,
+          f"{tally.mean_plt_ms:.0f}")
+         for name, tally in sorted(aggregate.cohorts.items())],
+    ))
+    print()
+    print(render_table(
+        "Edge load by group",
+        ["Edge", "Conns", "Peak", "Handshakes", "Resumed", "#Req",
+         "Coalesced", "GOAWAYs"],
+        [(name, c.connections, c.peak_concurrent, c.handshakes,
+          format_pct(c.resumption_rate), c.requests,
+          format_pct(c.coalesced_share), c.goaways)
+         for name, c in sorted(aggregate.edges.items())
+         if c.connections or c.requests],
+    ))
+    series = aggregate.coalesced_share_series()
+    if series:
+        print()
+        print(render_table(
+            "Coalesced-request share over time (Figure 8-style)",
+            ["t (s)", "Coalesced", "#Req"],
+            [(f"{start / 1000:.0f}", format_pct(share), requests)
+             for start, share, requests in series],
+        ))
+
+
+def cmd_traffic(args) -> int:
+    from repro.audit.log import events_to_jsonl
+    from repro.traffic import (
+        ScenarioConfig,
+        run_scenario,
+        run_what_if,
+        scenario_for_policy,
+        what_if_rows,
+    )
+
+    base = ScenarioConfig(
+        users=args.users,
+        site_count=args.sites,
+        seed=args.seed,
+        duration_ms=args.duration * 1000.0,
+        mean_visits_per_user=args.mean_visits,
+        bucket_ms=args.bucket * 1000.0,
+        edge_capacity=args.edge_capacity,
+        goaway_retry_limit=args.retry_limit,
+    )
+    shard_count = args.shards or None
+
+    if args.what_if:
+        _diag(f"traffic: what-if sweep over {args.users} users, "
+              f"{args.sites} sites")
+        results = run_what_if(
+            base, shard_count=shard_count, jobs=args.jobs,
+            progress=lambda policy, done, total:
+                _diag(f"{policy}: shard {done}/{total}"),
+        )
+        headers, rows = what_if_rows(results)
+        print(render_table(
+            "What-if: edge load under coalescing policies",
+            headers, rows,
+        ))
+        return 0
+
+    scenario = scenario_for_policy(base, args.scenario)
+    _diag(f"traffic: {args.users} users over {args.sites} sites "
+          f"({args.scenario} scenario)")
+    aggregate, trace = run_scenario(
+        scenario, shard_count=shard_count, jobs=args.jobs,
+        audit=bool(args.audit), progress=_shard_progress,
+    )
+    _print_traffic_summary(aggregate)
+    _print_traffic_tables(aggregate)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(aggregate.to_jsonl())
+        _diag(f"aggregate: -> {args.out} (canonical JSONL)")
+    if args.audit:
+        with open(args.audit, "w", encoding="utf-8") as handle:
+            handle.write(events_to_jsonl(trace.audit))
+        _diag(f"audit: {len(trace.audit)} events -> {args.audit} "
+              "(JSONL)")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.dataset.cache import CrawlCache
+
+    import time as time_module
+
+    cache = CrawlCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        now = time_module.time()
+        print(f"cache: {stats.root}")
+        print(f"{stats.count} entries, "
+              f"{stats.total_bytes / 1_048_576:.1f} MiB")
+        if stats.entries:
+            print()
+            print(render_table(
+                "Entries (newest first)",
+                ["Key", "Size (MiB)", "Age (days)"],
+                [(entry.key,
+                  f"{entry.size_bytes / 1_048_576:.2f}",
+                  f"{(now - entry.modified_at) / 86_400:.1f}")
+                 for entry in stats.entries],
+            ))
+        return 0
+    # prune
+    if args.max_entries is None and args.max_age_days is None:
+        _diag("cache: prune needs --max-entries and/or --max-age-days "
+              "(use stats to inspect first)")
+        return 2
+    removed = cache.prune(
+        max_entries=args.max_entries, max_age_days=args.max_age_days
+    )
+    freed = sum(entry.size_bytes for entry in removed)
+    print(f"pruned {len(removed)} entries, "
+          f"{freed / 1_048_576:.1f} MiB freed")
+    for entry in removed:
+        _diag(f"removed {entry.path}")
+    return 0
+
+
 def cmd_privacy(args) -> int:
     from repro.core import compare_privacy
 
@@ -713,6 +869,77 @@ def build_parser() -> argparse.ArgumentParser:
     common(privacy)
     crawl_pipeline(privacy)
     privacy.set_defaults(func=cmd_privacy)
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="population-scale traffic simulation with edge load "
+             "accounting",
+    )
+    traffic.add_argument("--users", type=_positive_int, default=1000,
+                         help="population size (default 1000)")
+    traffic.add_argument("--sites", type=_positive_int, default=40,
+                         help="sites in the simulated web (default 40)")
+    traffic.add_argument("--seed", type=int, default=2022)
+    traffic.add_argument("--duration", type=float, default=60.0,
+                         help="scenario window in simulated seconds "
+                              "(default 60)")
+    traffic.add_argument("--mean-visits", type=float, default=2.0,
+                         help="mean page visits per user; revisits "
+                              "arrive with warm caches and TLS "
+                              "tickets (default 2.0)")
+    traffic.add_argument("--bucket", type=float, default=5.0,
+                         help="time-series bucket in seconds "
+                              "(default 5)")
+    traffic.add_argument("--shards", type=int, default=0,
+                         help="user-shard layout (default 0 = one "
+                              "shard per ~500 users; part of the "
+                              "experiment definition)")
+    traffic.add_argument("--jobs", type=_positive_int, default=1,
+                         help="worker processes (default 1; does not "
+                              "change results)")
+    traffic.add_argument("--scenario", choices=("baseline", "origin",
+                                                "ideal-san"),
+                         default="baseline",
+                         help="cohort mix + deployment switches "
+                              "(default baseline)")
+    traffic.add_argument("--what-if", action="store_true",
+                         help="run baseline, origin, and ideal-san "
+                              "over the same population and print the "
+                              "comparison table")
+    traffic.add_argument("--edge-capacity", type=_positive_int,
+                         default=None,
+                         help="fleet-wide concurrent-connection limit "
+                              "per CDN edge; hitting it refuses "
+                              "connections with GOAWAY (default "
+                              "unlimited)")
+    traffic.add_argument("--retry-limit", type=_nonnegative_int,
+                         default=2,
+                         help="client re-dials after an overload "
+                              "GOAWAY (default 2)")
+    traffic.add_argument("--out", metavar="OUT", default=None,
+                         help="write the merged aggregate to OUT "
+                              "(canonical JSONL, byte-identical "
+                              "across --jobs)")
+    traffic.add_argument("--audit", metavar="OUT", default=None,
+                         help="collect decision auditing and write "
+                              "the merged log to OUT (JSONL)")
+    traffic.set_defaults(func=cmd_traffic)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed crawl cache",
+    )
+    cache_cmd.add_argument("action", choices=("stats", "prune"))
+    cache_cmd.add_argument("--cache-dir", default=None,
+                           help="cache directory (default "
+                                "$REPRO_CRAWL_CACHE or "
+                                "~/.cache/repro/crawls)")
+    cache_cmd.add_argument("--max-entries", type=_nonnegative_int,
+                           default=None,
+                           help="prune: keep at most N newest entries")
+    cache_cmd.add_argument("--max-age-days", type=float, default=None,
+                           help="prune: drop entries older than this")
+    cache_cmd.set_defaults(func=cmd_cache)
 
     profile = sub.add_parser(
         "profile",

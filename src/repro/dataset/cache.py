@@ -21,8 +21,10 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.dataset.crawler import CrawlResult
 from repro.dataset.generator import DatasetConfig
@@ -64,6 +66,32 @@ def cache_key(
     }
     canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class CacheEntryInfo:
+    """One cache entry as seen on disk."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    modified_at: float
+
+
+@dataclass
+class CacheStats:
+    """Disk-level summary of a cache directory."""
+
+    root: Path
+    entries: List[CacheEntryInfo] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.entries)
 
 
 class CrawlCache:
@@ -117,6 +145,56 @@ class CrawlCache:
                 path.unlink()
                 removed += 1
         return removed
+
+    def entries(self) -> List[CacheEntryInfo]:
+        """Every entry on disk, newest first (stable: ties break on
+        key, so listings are deterministic)."""
+        found: List[CacheEntryInfo] = []
+        if self.root.is_dir():
+            for path in self.root.glob("crawl-*.jsonl"):
+                stat = path.stat()
+                key = path.stem[len("crawl-"):]
+                found.append(CacheEntryInfo(
+                    key=key, path=path, size_bytes=stat.st_size,
+                    modified_at=stat.st_mtime,
+                ))
+        found.sort(key=lambda e: (-e.modified_at, e.key))
+        return found
+
+    def stats(self) -> CacheStats:
+        """Disk usage summary for the whole cache directory."""
+        return CacheStats(root=self.root, entries=self.entries())
+
+    def prune(
+        self,
+        max_entries: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[CacheEntryInfo]:
+        """Delete entries beyond a count budget and/or older than a
+        cutoff; returns what was removed (oldest victims first).
+
+        With neither bound given, nothing is removed (use
+        :meth:`clear` to empty the cache wholesale).
+        """
+        entries = self.entries()
+        victims: List[CacheEntryInfo] = []
+        keep: List[CacheEntryInfo] = entries
+        if max_age_days is not None:
+            if max_age_days < 0:
+                raise ValueError(f"bad max age {max_age_days}")
+            cutoff = (now if now is not None else time.time()) \
+                - max_age_days * 86_400.0
+            keep = [e for e in keep if e.modified_at >= cutoff]
+            victims.extend(e for e in entries if e.modified_at < cutoff)
+        if max_entries is not None:
+            if max_entries < 0:
+                raise ValueError(f"bad entry budget {max_entries}")
+            victims.extend(keep[max_entries:])
+            keep = keep[:max_entries]
+        for victim in sorted(victims, key=lambda e: e.modified_at):
+            victim.path.unlink(missing_ok=True)
+        return sorted(victims, key=lambda e: (e.modified_at, e.key))
 
 
 def crawl_cached(

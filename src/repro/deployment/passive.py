@@ -42,6 +42,34 @@ class LogRecord:
     user_agent: str = ""
 
 
+def coalesced_share_series(
+    records: List[LogRecord], bucket_ms: float
+) -> List[Tuple[float, float, int]]:
+    """Figure 8-style time series over edge log records.
+
+    Buckets ``records`` by timestamp and returns
+    ``(bucket_start_ms, coalesced_share, requests)`` per non-empty
+    bucket in time order, where the share is the fraction of requests
+    whose Host differed from the connection's SNI.  Shared between the
+    §5 passive pipeline and the population-scale traffic monitor
+    (:mod:`repro.traffic`), which produce the same record shape.
+    """
+    if bucket_ms <= 0:
+        raise ValueError(f"bad bucket width {bucket_ms}")
+    buckets: Dict[int, Tuple[int, int]] = {}
+    for record in records:
+        index = int(record.timestamp // bucket_ms)
+        requests, coalesced = buckets.get(index, (0, 0))
+        buckets[index] = (
+            requests + 1,
+            coalesced + (1 if record.sni_host_mismatch else 0),
+        )
+    return [
+        (index * bucket_ms, coalesced / requests, requests)
+        for index, (requests, coalesced) in sorted(buckets.items())
+    ]
+
+
 class PassivePipeline:
     """Attachable logging pipeline over a CDN server."""
 
@@ -138,6 +166,12 @@ class PassivePipeline:
         if control == 0:
             return 0.0
         return 1.0 - experiment / control
+
+    def coalesced_share_over_time(
+        self, bucket_ms: float
+    ) -> List[Tuple[float, float, int]]:
+        """Figure 8's series over this pipeline's sampled records."""
+        return coalesced_share_series(self.records, bucket_ms)
 
     def rates_in_window(
         self, start: float, end: float

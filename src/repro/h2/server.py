@@ -66,6 +66,12 @@ class ServerConfig:
     #: Advertised SETTINGS_MAX_CONCURRENT_STREAMS (None = protocol
     #: default, effectively unlimited).
     max_concurrent_streams: Optional[int] = None
+    #: Capacity model: concurrent TLS connections this edge will carry
+    #: (None = unlimited).  Over-capacity h2 clients are refused with
+    #: GOAWAY ENHANCE_YOUR_CALM right after the handshake -- the
+    #: handshake is still paid (the refusal has to be authenticated),
+    #: which is exactly why overload shows up in handshake load.
+    max_concurrent_connections: Optional[int] = None
     #: Whether this fleet also terminates h3 (QUIC).  When True the
     #: world binds a datagram listener next to the TCP one and TCP
     #: responses advertise ``Alt-Svc: h3`` -- but only to clients whose
@@ -149,6 +155,7 @@ class ServerStats(RegistryStats):
         "requests",
         "misdirected",
         "origin_frames_sent",
+        "overload_goaways",
     )
 
 
@@ -158,6 +165,10 @@ class ServerConnection:
     #: Whether responses on this connection may carry Alt-Svc; the
     #: QUIC subclass turns it off (its clients are already on h3).
     alt_svc_eligible = True
+    #: Set by :meth:`H2Server._accept` when the edge was already at
+    #: its connection-capacity limit; the handshake still completes,
+    #: then the connection is refused with GOAWAY.
+    refuse_overload = False
 
     def __init__(
         self, server: "H2Server", transport: Transport
@@ -189,6 +200,20 @@ class ServerConnection:
         self.sni = self.channel.client_sni
         self.protocol = self.channel.negotiated_alpn or "h2"
         self.server.stats.tls_handshakes += 1
+        self.server.notify_connection_event("handshake", self)
+        if self.refuse_overload and self.protocol != "http/1.1":
+            # Over capacity: complete the (already paid-for) handshake,
+            # then turn the client away with a retryable GOAWAY.  h1
+            # fallback connections are served normally -- they cannot
+            # express a graceful connection-level refusal.
+            self.server.stats.overload_goaways += 1
+            self.conn = H2Connection(Role.SERVER)
+            self.conn.initiate()
+            self.conn.send_goaway(ErrorCode.ENHANCE_YOUR_CALM)
+            self._flush()
+            self.server.notify_connection_event("overload_goaway", self)
+            self.channel.close()
+            return
         if self.protocol == "http/1.1":
             self._start_h1()
             return
@@ -369,6 +394,17 @@ class H2Server:
         self.request_observer: Optional[
             Callable[[ServerConnection, str, int, List[Header]], None]
         ] = None
+        #: Optional connection-lifecycle observer: (event, connection)
+        #: with event one of ``accepted`` / ``handshake`` /
+        #: ``overload_goaway`` / ``closed``.  Edge load accounting
+        #: (``repro.traffic``) hangs off this hook.
+        self.connection_observer: Optional[
+            Callable[[str, ServerConnection], None]
+        ] = None
+        #: Live TLS connection count and its high-water mark; the
+        #: capacity model compares against the former.
+        self.active_connections = 0
+        self.peak_active_connections = 0
 
     def listen(self, ip: str, port: int = 443) -> None:
         self.network.listen(self.host, ip, port, self._accept)
@@ -403,8 +439,29 @@ class H2Server:
     def _accept(self, transport: Transport) -> None:
         self.stats.connections += 1
         connection = ServerConnection(self, transport)
+        limit = self.config.max_concurrent_connections
+        connection.refuse_overload = (
+            limit is not None and self.active_connections >= limit
+        )
+        self.active_connections += 1
+        if self.active_connections > self.peak_active_connections:
+            self.peak_active_connections = self.active_connections
+        transport.on_close = (
+            lambda: self._connection_closed(connection)
+        )
         if self.retain_connections:
             self.connections.append(connection)
+        self.notify_connection_event("accepted", connection)
+
+    def _connection_closed(self, connection: ServerConnection) -> None:
+        self.active_connections -= 1
+        self.notify_connection_event("closed", connection)
+
+    def notify_connection_event(
+        self, event: str, connection: ServerConnection
+    ) -> None:
+        if self.connection_observer is not None:
+            self.connection_observer(event, connection)
 
     def _accept_quic(self, transport: Transport) -> None:
         from repro.transport.quicsim import QuicServerConnection

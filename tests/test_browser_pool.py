@@ -330,3 +330,111 @@ class TestMidPathRstEviction:
         fresh = add(pool, "www.a.com")
         assert pool.find_same_host("www.a.com").facts is fresh
         assert list(pool.connections) == [fresh]
+
+
+class TestRegistryChurn:
+    """Open/close storms: the registry's three indexes and the pool's
+    counters stay exactly consistent however connections churn."""
+
+    @staticmethod
+    def check_indexes(registry):
+        """Every live entry is indexed everywhere it should be, no
+        index holds anything else, and no bucket is empty."""
+        for facts in registry:
+            assert facts in registry.by_sni[facts.sni]
+            assert facts in registry.by_endpoint[
+                (facts.sni, facts.transport_name)
+            ]
+            for ip in facts.available_set | {facts.connected_ip}:
+                assert facts in registry.by_ip[ip]
+        indexed = {
+            id(facts) for bucket in registry.by_sni.values()
+            for facts in bucket
+        }
+        assert indexed == {id(facts) for facts in registry}
+        for index in (registry.by_sni, registry.by_ip,
+                      registry.by_endpoint):
+            for bucket in index.values():
+                assert bucket  # empty buckets are deleted, not kept
+
+    def test_open_close_storm_keeps_indexes_consistent(self):
+        import random
+
+        rng = random.Random(2022)
+        pool = make_pool(policy=ChromiumPolicy())
+        live = []
+        opened = closed = 0
+        for step in range(400):
+            if live and rng.random() < 0.45:
+                victim = rng.choice(live)
+                # Half the closures die loudly (failed), half quietly.
+                if rng.random() < 0.5:
+                    victim.session.failed = "storm"
+                else:
+                    victim.session.closed = True
+                closed += 1
+            else:
+                host = f"host{rng.randrange(12):02d}.example"
+                facts = add(
+                    pool, host,
+                    san=(host, "cdn.x.com"),
+                    available=(f"10.0.{rng.randrange(6)}.1",),
+                )
+                live.append(facts)
+                opened += 1
+            # Lookups are what prune dead entries; interleave them.
+            pool.find_same_host(f"host{rng.randrange(12):02d}.example")
+            pool.find_coalescable(
+                "cdn.x.com", [f"10.0.{rng.randrange(6)}.1"]
+            )
+            live = [facts for facts in live
+                    if not facts.session.closed
+                    and facts.session.failed is None]
+            self.check_indexes(pool.connections)
+        assert opened > 0 and closed > 0
+        assert pool.stats.pruned_connections > 0
+        assert pool.stats.pruned_connections <= closed
+        # A final sweep leaves exactly the live entries, every one of
+        # them still indexed, and the prune counter reconciles with
+        # the closures.
+        assert pool.open_count == len(live)
+        assert {id(facts) for facts in pool.connections} == \
+            {id(facts) for facts in live}
+        self.check_indexes(pool.connections)
+        assert pool.stats.pruned_connections == closed
+
+    def test_storm_then_drain_empties_every_index(self):
+        pool = make_pool(policy=ChromiumPolicy())
+        for index in range(40):
+            add(pool, f"host{index:02d}.example",
+                available=(f"10.1.{index}.1", "10.9.9.9"))
+        for facts in list(pool.connections):
+            facts.session.closed = True
+        # open_count prunes everything dead in one sweep.
+        assert pool.open_count == 0
+        assert pool.stats.pruned_connections == 40
+        registry = pool.connections
+        assert list(registry) == []
+        assert registry.by_sni == {}
+        assert registry.by_ip == {}
+        assert registry.by_endpoint == {}
+
+    def test_pool_seq_survives_churn_and_keeps_ordering(self):
+        pool = make_pool(policy=ChromiumPolicy())
+        first = add(pool, "www.a.com", available=("10.0.0.1",))
+        second = add(pool, "www.b.com", available=("10.0.0.1",))
+        pool.connections.discard(first)
+        third = add(pool, "www.c.com", available=("10.0.0.1",))
+        # Sequence numbers never recycle, so insertion order is total.
+        assert second.pool_seq < third.pool_seq
+        candidates = pool.connections.candidates_for_ips(["10.0.0.1"])
+        assert candidates == [second, third]
+
+    def test_discard_is_by_identity_not_equality(self):
+        pool = make_pool()
+        kept = add(pool, "www.a.com")
+        twin = add(pool, "www.a.com")
+        assert pool.connections.discard(twin)
+        assert list(pool.connections) == [kept]
+        assert pool.connections.for_host("www.a.com") == [kept]
+        assert not pool.connections.discard(twin)  # already gone

@@ -50,3 +50,12 @@ class TestExamples:
         assert "Table 1" in result.stdout
         assert "Figure 3" in result.stdout
         assert "certificate plan" in result.stdout
+
+    def test_traffic_study_small(self):
+        result = run_example("traffic_study.py", "12", timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "What-if" in result.stdout
+        assert "baseline" in result.stdout
+        assert "ideal-san" in result.stdout
+        assert "Figure 8" in result.stdout
+        assert "reason-coded decisions" in result.stdout
