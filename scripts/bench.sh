@@ -170,3 +170,34 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_traffic.py \
     --duration 15 --shards 2 --jobs "$JOBS" \
     --output "$TRAFFIC_CURRENT"
 echo "bench.sh: traffic stage informational (identity check gated above)"
+
+# Run-ledger regression compare: informational trend watch.  Run
+# records hold only simulated-clock latencies, so the committed
+# BENCH_ledger.jsonl baseline is machine-independent -- any drift
+# repro compare flags here is a code-behaviour change, not noise.
+# The crawl arguments are pinned (independent of $SITES/$JOBS knobs):
+# the baseline only matches its exact configuration.
+LEDGER_BASELINE="BENCH_ledger.jsonl"
+if [ -n "${REPRO_BENCH_OUT_DIR:-}" ]; then
+    LEDGER_DIR="$REPRO_BENCH_OUT_DIR/ledger"
+else
+    LEDGER_DIR="$(mktemp -d /tmp/bench_ledger.XXXXXX)"
+    trap 'rm -f "$CURRENT" "$MICRO_CURRENT" "$TRAFFIC_CURRENT"; rm -rf "$LEDGER_DIR"' EXIT
+fi
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro crawl \
+    --sites 60 --seed 2022 --shards 2 --no-cache --tables 1 \
+    --ledger "$LEDGER_DIR" > /dev/null
+LEDGER_CURRENT="$(ls "$LEDGER_DIR"/crawl-*.jsonl | head -n 1)"
+if [ -f "$LEDGER_BASELINE" ]; then
+    if PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro \
+            compare "$LEDGER_BASELINE" "$LEDGER_CURRENT" --only-changed; then
+        echo "bench.sh: ledger compare clean against $LEDGER_BASELINE"
+    else
+        echo "bench.sh: ledger compare flagged drift against" \
+             "$LEDGER_BASELINE (informational, not gated; refresh the" \
+             "baseline with: cp $LEDGER_CURRENT $LEDGER_BASELINE)"
+    fi
+else
+    echo "bench.sh: no $LEDGER_BASELINE; commit one with:" \
+         "cp $LEDGER_CURRENT $LEDGER_BASELINE"
+fi

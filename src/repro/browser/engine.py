@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.audit.log import NULL_AUDIT
 from repro.audit.reasons import ReasonCode
+from repro.obs.phases import NULL_PHASES
 from repro.browser.cache import BrowserCache
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.browser.pool import ConnectionPool
@@ -67,6 +68,10 @@ class BrowserContext:
     #: Crawl-level telemetry (tracer + metrics); ``None`` disables
     #: tracing with literal zero overhead on the fetch paths.
     telemetry: Optional[Telemetry] = None
+    #: Phase-latency recorder for the run ledger (DNS/connect/TLS/
+    #: TTFB/page histograms); the no-op default keeps un-ledgered
+    #: loads at a single attribute read per request.
+    phases: object = NULL_PHASES
     #: Protocols this browser is willing to speak.  ``("h2",)`` is the
     #: pre-h3 browser; ``("h2", "h3")`` adds the QUIC dialer, HTTPS
     #: DNS-record awareness, and Alt-Svc upgrades.
@@ -185,6 +190,7 @@ class PageLoad:
             tracer=context.tracer,
             audit=context.audit,
             page=self.page.url,
+            phases=context.phases,
         )
         self.quic_dialer = None
         if context.h3_enabled:
@@ -201,6 +207,7 @@ class PageLoad:
                 tracer=context.tracer,
                 audit=context.audit,
                 page=self.page.url,
+                phases=context.phases,
             )
         self.pool = ConnectionPool(
             policy=context.policy,
@@ -710,6 +717,10 @@ class PageLoad:
                 info = self.context.asdb.lookup(entry.server_ip)
                 if info is not None:
                     entry.asn, entry.as_org = info.asn, info.org
+        phases = self.context.phases
+        if phases.enabled:
+            phases.observe("ttfb", state.timings.wait,
+                           protocol=entry.protocol)
         self.entries.append(entry)
         if state.resource is None:
             self.root_status = response.status
@@ -803,6 +814,9 @@ class PageLoad:
             f"root status {self.root_status}",
             extra_tls_connections=self.extra_tls,
         )
+        phases = self.context.phases
+        if phases.enabled and page.success:
+            phases.observe("page", on_load)
         self.pool.close_all()
         self.on_complete(HarArchive(page=page, entries=self.entries))
 

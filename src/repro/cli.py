@@ -6,12 +6,19 @@ Commands:
 * ``model``   -- run the §4 model (Figure 3, headline, cert plan)
 * ``deploy``  -- run the §5 deployment (Figures 6/7b, passive pipeline)
 * ``privacy`` -- the §6.2 privacy exposure comparison
+* ``report``  -- render one run-ledger record as a dashboard
+* ``compare`` -- regression verdicts between two ledger records
 
 ``crawl``, ``model``, and ``privacy`` share one crawl pipeline: the
 dataset is partitioned into deterministic shards (``--shards``),
 crawled by ``--jobs`` worker processes, and the merged archives are
 persisted in a content-addressed cache so repeated invocations with
 the same configuration skip the crawl entirely (``cache: hit``).
+
+Any crawl-pipeline command (plus ``traffic`` and ``profile``) takes
+``--ledger DIR`` to append a canonical run record -- per-phase latency
+histograms, headline metrics, SLO verdicts from ``--slo FILE`` -- that
+``report`` and ``compare`` consume (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -25,6 +32,10 @@ import numpy as np
 from repro import __version__
 from repro.analysis import format_pct, render_cdf, render_table
 from repro.browser.policy import POLICY_FACTORIES
+from repro.obs.compare import (
+    ABS_FLOOR_MS as COMPARE_ABS_FLOOR_MS,
+    REL_FLOOR as COMPARE_REL_FLOOR,
+)
 
 #: Kept as the CLI-facing name->factory registry (the canonical copy
 #: lives in :mod:`repro.browser.policy` so crawl workers can share it).
@@ -59,17 +70,93 @@ def _export_trace(trace, trace_out, want_metrics: bool) -> None:
         print()
 
 
+def _ledger_setup(args):
+    """Resolve ``(ledger_dir, slo_rules)`` from ``--ledger``/``--slo``.
+
+    A malformed SLO file aborts *before* any crawling (exit 2): a gate
+    file that cannot be parsed must never let a run pass silently.
+    """
+    ledger_dir = getattr(args, "ledger", None)
+    slo_path = getattr(args, "slo", None)
+    rules = []
+    if slo_path:
+        from repro.obs.slo import SloError, load_slo
+
+        try:
+            rules = load_slo(slo_path)
+        except SloError as error:
+            _diag(f"slo: {error}")
+            raise SystemExit(2)
+    return ledger_dir, rules
+
+
+def _counter_total(registry, name: str):
+    """Sum of one counter series across all label sets."""
+    return sum(
+        metric.value for metric in registry.metrics()
+        if metric.kind == "counter" and metric.name == name
+    )
+
+
+def _ledger_watch(hb, rules, unit: str = "pages"):
+    """Build the heartbeat callback for ``crawl_traced``/
+    ``run_scenario``: after every shard merge it reads the merged-
+    so-far metrics and redraws the status line (work done, rate, open
+    connection count, SLO burn)."""
+    from repro.obs.ledger import phase_docs_from_registry
+    from repro.obs.slo import slo_burn
+
+    def watch(done: int, total: int, crawl_trace) -> None:
+        if not hb.enabled:
+            return
+        docs = phase_docs_from_registry(crawl_trace.metrics)
+        pages = sum(doc["count"] for doc in docs
+                    if doc["name"] == "phase.page")
+        conns = _counter_total(crawl_trace.metrics,
+                               "pool.connections_opened")
+        elapsed = hb.elapsed()
+        fields = {
+            "shards": f"{done}/{total}",
+            unit: pages,
+            f"{unit}/s": f"{pages / elapsed:.1f}" if elapsed > 0
+            else "0.0",
+            "conns": conns,
+        }
+        if rules:
+            failing, evaluated = slo_burn(rules, docs)
+            fields["slo"] = f"{evaluated - failing}/{evaluated} ok"
+        hb.tick(fields, force=done == total)
+
+    return watch
+
+
+def _finish_ledger(ledger_dir, record) -> None:
+    """Write the record and print its ledger/SLO diagnostics."""
+    from repro.obs.ledger import write_record
+
+    path = write_record(ledger_dir, record)
+    _diag(f"ledger: run {record.run_id} -> {path}")
+    failing = [
+        doc["name"] for doc in record.slo
+        if doc.get("measured") is not None and not doc.get("ok")
+    ]
+    if failing:
+        _diag(f"slo: FAIL {', '.join(failing)}")
+    elif record.slo:
+        _diag(f"slo: {len(record.slo)} gate(s) pass")
+
+
 def _crawl_cached(args, policy_name: str, force_audit: bool = False):
     """The shared crawl pipeline: shards + jobs + cache + telemetry.
 
     Returns ``(config, shard_count, result, trace)`` where ``trace``
     is the merged :class:`~repro.telemetry.CrawlTrace` when the crawl
-    ran live (``--trace``/``--metrics``/``--audit`` or
+    ran live (``--trace``/``--metrics``/``--audit``/``--ledger`` or
     ``force_audit``) and ``None`` on the cached path.  Diagnostics
     (cache status, shard progress) print to stderr.  Live crawls
     bypass cache reads (a cache hit would skip the simulation and
-    produce no spans or audit events); the archives are still stored
-    so subsequent untraced runs hit the cache.
+    produce no spans, audit events, or phase histograms); the archives
+    are still stored so subsequent untraced runs hit the cache.
     """
     from repro.dataset.cache import CrawlCache, cache_key, crawl_cached
     from repro.dataset.generator import DatasetConfig
@@ -80,25 +167,36 @@ def _crawl_cached(args, policy_name: str, force_audit: bool = False):
     )
 
     config = DatasetConfig(site_count=args.sites, seed=args.seed)
-    params = CrawlParams(policy=policy_name, speculative_rate=0.10,
-                         alpn=getattr(args, "alpn", "h2"))
+    params = CrawlParams(
+        policy=policy_name, speculative_rate=0.10,
+        alpn=getattr(args, "alpn", "h2"),
+        dns_latency_ms=getattr(args, "dns_latency", 48.0),
+    )
     shard_count = len(plan_shards(config, args.shards or None))
     cache = None if args.no_cache else CrawlCache(args.cache_dir)
 
+    ledger_dir, slo_rules = _ledger_setup(args)
     trace_out = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
     audit_out = getattr(args, "audit", None)
     want_audit = bool(audit_out) or force_audit
-    if trace_out or want_metrics or want_audit:
+    if trace_out or want_metrics or want_audit or ledger_dir:
+        from repro.obs.heartbeat import Heartbeat
+
         crawler = ParallelCrawler(
             config, params=params, shard_count=shard_count,
             jobs=args.jobs,
         )
-        result, trace = crawler.crawl_traced(
-            progress=_shard_progress,
-            trace=bool(trace_out) or want_metrics,
-            audit=want_audit,
-        )
+        hb = Heartbeat()
+        try:
+            result, trace = crawler.crawl_traced(
+                progress=None if hb.enabled else _shard_progress,
+                trace=bool(trace_out) or want_metrics,
+                audit=want_audit,
+                watch=_ledger_watch(hb, slo_rules),
+            )
+        finally:
+            hb.close()
         if cache is None:
             _diag("cache: disabled")
         else:
@@ -112,6 +210,14 @@ def _crawl_cached(args, policy_name: str, force_audit: bool = False):
                 handle.write(trace.audit_jsonl())
             _diag(f"audit: {len(trace.audit)} events -> {audit_out} "
                   "(JSONL)")
+        if ledger_dir:
+            from repro.obs.ledger import build_crawl_record
+
+            record = build_crawl_record(
+                args.command, config, params, shard_count, result,
+                trace.metrics, slo_rules=slo_rules,
+            )
+            _finish_ledger(ledger_dir, record)
         return config, shard_count, result, trace
 
     result, hit = crawl_cached(
@@ -535,13 +641,18 @@ def cmd_profile(args) -> int:
           f"{shard_count} shard(s) in-process (jobs=1; cProfile "
           "cannot see worker processes)")
 
+    ledger_dir, slo_rules = _ledger_setup(args)
     want_trace = bool(args.trace)
     profiler = cProfile.Profile()
     trace = None
     profiler.enable()
     try:
-        if want_trace:
-            result, trace = crawler.crawl_traced(trace=True, audit=False)
+        if want_trace or ledger_dir:
+            # The ledger needs the telemetry registry for its phase
+            # histograms even when no span artifact was requested.
+            result, trace = crawler.crawl_traced(
+                trace=want_trace, audit=False
+            )
         else:
             result = crawler.crawl()
     finally:
@@ -585,6 +696,14 @@ def cmd_profile(args) -> int:
         _diag(f"trace: {len(trace.spans)} spans validated against "
               f"{result.attempted} archives")
         _export_trace(trace, args.trace, want_metrics=False)
+    if ledger_dir:
+        from repro.obs.ledger import build_crawl_record
+
+        record = build_crawl_record(
+            "profile", config, params, shard_count, result,
+            trace.metrics, slo_rules=slo_rules,
+        )
+        _finish_ledger(ledger_dir, record)
     return 0
 
 
@@ -668,8 +787,12 @@ def cmd_traffic(args) -> int:
         goaway_retry_limit=args.retry_limit,
     )
     shard_count = args.shards or None
+    ledger_dir, slo_rules = _ledger_setup(args)
 
     if args.what_if:
+        if args.trace or args.metrics or ledger_dir:
+            _diag("traffic: --trace/--metrics/--ledger are ignored "
+                  "with --what-if (the sweep keeps no merged trace)")
         _diag(f"traffic: what-if sweep over {args.users} users, "
               f"{args.sites} sites")
         results = run_what_if(
@@ -687,10 +810,20 @@ def cmd_traffic(args) -> int:
     scenario = scenario_for_policy(base, args.scenario)
     _diag(f"traffic: {args.users} users over {args.sites} sites "
           f"({args.scenario} scenario)")
-    aggregate, trace = run_scenario(
-        scenario, shard_count=shard_count, jobs=args.jobs,
-        audit=bool(args.audit), progress=_shard_progress,
-    )
+    from repro.obs.heartbeat import Heartbeat
+
+    hb = Heartbeat()
+    try:
+        aggregate, trace = run_scenario(
+            scenario, shard_count=shard_count, jobs=args.jobs,
+            audit=bool(args.audit),
+            trace=bool(args.trace) or args.metrics,
+            progress=None if hb.enabled else _shard_progress,
+            watch=_ledger_watch(hb, slo_rules, unit="visits"),
+        )
+    finally:
+        hb.close()
+    _export_trace(trace, args.trace, args.metrics)
     _print_traffic_summary(aggregate)
     _print_traffic_tables(aggregate)
     if args.out:
@@ -702,6 +835,16 @@ def cmd_traffic(args) -> int:
             handle.write(events_to_jsonl(trace.audit))
         _diag(f"audit: {len(trace.audit)} events -> {args.audit} "
               "(JSONL)")
+    if ledger_dir:
+        from repro.obs.ledger import build_traffic_record
+        from repro.traffic.scenario import plan_user_shards
+
+        record = build_traffic_record(
+            scenario, len(plan_user_shards(scenario, shard_count)),
+            aggregate, trace.metrics, slo_rules=slo_rules,
+            scenario_name=args.scenario,
+        )
+        _finish_ledger(ledger_dir, record)
     return 0
 
 
@@ -763,6 +906,60 @@ def cmd_privacy(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.report import render_report, slo_failures
+
+    try:
+        path = ledger_mod.resolve_record_path(args.run, args.ledger)
+        record = ledger_mod.load_record(path)
+    except ledger_mod.LedgerError as error:
+        _diag(f"report: {error}")
+        return 2
+    if args.slo:
+        from repro.obs.slo import SloError, evaluate_slos, load_slo
+
+        try:
+            rules = load_slo(args.slo)
+        except SloError as error:
+            _diag(f"report: {error}")
+            return 2
+        record.slo = evaluate_slos(rules, record.phases,
+                                   record.headline)
+    print(render_report(record, fmt=args.format), end="")
+    failing = slo_failures(record)
+    if failing:
+        _diag(f"slo: FAIL {', '.join(failing)}")
+        if args.check:
+            return 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.compare import compare_records, render_compare
+
+    try:
+        record_a = ledger_mod.load_record(
+            ledger_mod.resolve_record_path(args.a, args.ledger)
+        )
+        record_b = ledger_mod.load_record(
+            ledger_mod.resolve_record_path(args.b, args.ledger)
+        )
+    except ledger_mod.LedgerError as error:
+        _diag(f"compare: {error}")
+        return 2
+    result = compare_records(
+        record_a, record_b,
+        rel_floor=args.rel_floor, abs_floor_ms=args.abs_floor_ms,
+    )
+    _diag(f"compare: baseline {record_a.run_id}, "
+          f"candidate {record_b.run_id}")
+    print(render_compare(result, args.a, args.b,
+                         only_changed=args.only_changed), end="")
+    return result.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -811,6 +1008,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ALPN protocols the browser offers "
                             "(default h2; 'h2,h3' also discovers and "
                             "upgrades to QUIC endpoints)")
+        p.add_argument("--dns-latency", type=float, default=48.0,
+                       dest="dns_latency", metavar="MS",
+                       help="simulated resolver wire RTT in ms "
+                            "(default 48; part of the run "
+                            "fingerprint)")
+        ledger_options(p)
+
+    def ledger_options(p):
+        p.add_argument("--ledger", metavar="DIR", default=None,
+                       help="append this run's record (phase latency "
+                            "histograms, headline metrics, SLO "
+                            "verdicts) to the ledger directory DIR; "
+                            "forces the traced pipeline")
+        p.add_argument("--slo", metavar="FILE", default=None,
+                       help="evaluate the [[slo]] gates in FILE and "
+                            "store their verdicts in the run record")
 
     crawl = sub.add_parser("crawl", help="crawl and characterize")
     common(crawl)
@@ -923,6 +1136,15 @@ def build_parser() -> argparse.ArgumentParser:
     traffic.add_argument("--audit", metavar="OUT", default=None,
                          help="collect decision auditing and write "
                               "the merged log to OUT (JSONL)")
+    traffic.add_argument("--trace", metavar="OUT", default=None,
+                         help="collect telemetry spans and write the "
+                              "merged trace to OUT: Chrome "
+                              "trace_event JSON, or span JSONL when "
+                              "OUT ends in .jsonl")
+    traffic.add_argument("--metrics", action="store_true",
+                         help="print the unified metrics summary "
+                              "after the run")
+    ledger_options(traffic)
     traffic.set_defaults(func=cmd_traffic)
 
     cache_cmd = sub.add_parser(
@@ -965,7 +1187,51 @@ def build_parser() -> argparse.ArgumentParser:
                               "JSONL when OUT ends in .jsonl)")
     profile.add_argument("--pstats", metavar="OUT", default=None,
                          help="dump the raw cProfile stats to OUT")
+    ledger_options(profile)
     profile.set_defaults(func=cmd_profile)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run-ledger record as a dashboard",
+    )
+    report.add_argument("run",
+                        help="record path, or a run id resolved "
+                             "under --ledger")
+    report.add_argument("--ledger", metavar="DIR", default=None,
+                        help="ledger directory run ids resolve in")
+    report.add_argument("--format", choices=("ascii", "markdown"),
+                        default="ascii",
+                        help="ascii for terminals, markdown for CI "
+                             "artifacts (default ascii)")
+    report.add_argument("--slo", metavar="FILE", default=None,
+                        help="re-evaluate the gates in FILE against "
+                             "the record instead of showing the "
+                             "stored verdicts")
+    report.add_argument("--check", action="store_true",
+                        help="exit 1 when any SLO gate fails")
+    report.set_defaults(func=cmd_report)
+
+    compare = sub.add_parser(
+        "compare",
+        help="per-metric regression verdicts between two ledger "
+             "records (exit 0 clean / 1 regressed / 2 incomparable)",
+    )
+    compare.add_argument("a", help="baseline record (path or run id)")
+    compare.add_argument("b", help="candidate record (path or run id)")
+    compare.add_argument("--ledger", metavar="DIR", default=None,
+                         help="ledger directory run ids resolve in")
+    compare.add_argument("--rel-floor", type=float,
+                         default=COMPARE_REL_FLOOR, metavar="FRAC",
+                         help="relative noise floor on latency "
+                              "percentiles (default "
+                              f"{COMPARE_REL_FLOOR})")
+    compare.add_argument("--abs-floor-ms", type=float,
+                         default=COMPARE_ABS_FLOOR_MS, metavar="MS",
+                         help="absolute noise floor in ms (default "
+                              f"{COMPARE_ABS_FLOOR_MS})")
+    compare.add_argument("--only-changed", action="store_true",
+                         help="hide 'unchanged' rows from the table")
+    compare.set_defaults(func=cmd_compare)
     return parser
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.browser import BrowserContext, BrowserEngine, ChromiumPolicy
 from repro.browser.policy import CoalescingPolicy
 from repro.dataset.world import SyntheticWorld
+from repro.obs.phases import NULL_PHASES, PhaseRecorder
 from repro.telemetry import Telemetry
 from repro.web.har import HarArchive, HarPage
 
@@ -111,9 +112,15 @@ class Crawler:
             # h3-capable clients also ask for HTTPS/SVCB records
             # (piggybacked on the A query; no extra latency).
             self.resolver.query_https_records = True
+        phases = NULL_PHASES
         if telemetry is not None:
             self.resolver.tracer = telemetry.tracer
             self.resolver.audit = telemetry.audit
+            # Phase histograms ride the shared metrics registry, so
+            # they shard-merge (and stay --jobs-deterministic) for free.
+            phases = PhaseRecorder(telemetry.metrics,
+                                   policy=self.policy.name)
+            self.resolver.phases = phases
         self.context = BrowserContext(
             network=world.network,
             client_host=world.client_host,
@@ -127,6 +134,7 @@ class Crawler:
             asdb=world.asdb,
             telemetry=telemetry,
             alpn=self.alpn,
+            phases=phases,
         )
         self.engine = BrowserEngine(self.context)
 

@@ -321,13 +321,18 @@ class ParallelCrawler:
         progress: Optional[Callable[[int, int], None]] = None,
         trace: bool = True,
         audit: bool = True,
+        watch: Optional[
+            Callable[[int, int, CrawlTrace], None]
+        ] = None,
     ) -> Tuple[CrawlResult, CrawlTrace]:
         """Crawl all shards with telemetry; merge spans, metrics, and
         audit events.
 
         Shard results are merged in shard order with renumbered span
         ids and audit sequence numbers, so the trace is byte-identical
-        whatever ``jobs`` ran it.
+        whatever ``jobs`` ran it.  ``watch`` (if given) sees
+        ``(done_shards, total, merged_trace_so_far)`` after each shard
+        merge -- the run ledger's heartbeat reads live counters there.
         """
         from repro.audit.log import AuditEvent
 
@@ -345,6 +350,8 @@ class ParallelCrawler:
                 crawl_trace.extend_audit(events, shard=spec.index)
                 if progress is not None:
                     progress(done, total)
+                if watch is not None:
+                    watch(done, total, crawl_trace)
             return merged, crawl_trace
         payloads = [
             (spec, self.params, trace, audit) for spec in self.shards
@@ -368,6 +375,8 @@ class ParallelCrawler:
                 )
                 if progress is not None:
                     progress(done, total)
+                if watch is not None:
+                    watch(done, total, crawl_trace)
         return merged, crawl_trace
 
 

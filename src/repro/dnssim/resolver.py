@@ -24,6 +24,7 @@ from repro.dnssim.zone import Zone
 from repro.audit.log import NULL_AUDIT
 from repro.audit.reasons import ReasonCode
 from repro.netsim.events import EventLoop
+from repro.obs.phases import NULL_PHASES
 from repro.telemetry import NULL_TRACER, RegistryStats
 
 
@@ -179,6 +180,10 @@ class CachingResolver:
         #: Decision-audit log; assign a live one to record how each
         #: query was answered (see :mod:`repro.audit`).
         self.audit = NULL_AUDIT
+        #: Phase-latency recorder (run ledger); a live one observes
+        #: every wire query's latency into the ``phase.dns`` histogram
+        #: (cache hits and joined lookups cost no wire wait).
+        self.phases = NULL_PHASES
 
     # -- latency -----------------------------------------------------------
 
@@ -292,6 +297,8 @@ class CachingResolver:
 
         def complete() -> None:
             waiting = self._in_flight.pop(name, [])
+            if self.phases.enabled:
+                self.phases.observe("dns", latency)
             try:
                 addresses, ttl, chain = self._authority.query(name)
             except NxDomain as error:

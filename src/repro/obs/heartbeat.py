@@ -1,0 +1,70 @@
+"""The live stderr heartbeat for long runs.
+
+One ``\\r``-rewritten status line -- sites done, visits/sec, open
+connections, SLO burn -- refreshed at most every ``min_interval_s``
+of *wall* clock (the only place the observability stack touches real
+time, which is why it must never leak into records or stdout).
+Disabled automatically when stderr is not a TTY, so piped output,
+tests, and CI logs see nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Mapping, Optional
+
+
+class Heartbeat:
+    """Rate-limited single-line progress display.
+
+    ``stream`` and ``clock`` are injectable for tests; ``enabled``
+    defaults to ``stream.isatty()``.
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        min_interval_s: float = 0.5,
+        clock=time.monotonic,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.clock = clock
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self.enabled = enabled
+        self.started_at = self.clock()
+        self._last_tick: Optional[float] = None
+        self._wrote = False
+
+    def elapsed(self) -> float:
+        return self.clock() - self.started_at
+
+    def tick(self, fields: Mapping[str, object],
+             force: bool = False) -> bool:
+        """Maybe redraw the status line; returns whether it drew."""
+        if not self.enabled:
+            return False
+        now = self.clock()
+        if not force and self._last_tick is not None \
+                and now - self._last_tick < self.min_interval_s:
+            return False
+        self._last_tick = now
+        body = "  ".join(
+            f"{key} {value}" for key, value in fields.items()
+        )
+        # \x1b[K clears any longer previous line's tail.
+        self.stream.write(f"\r[{now - self.started_at:6.1f}s] {body}\x1b[K")
+        self.stream.flush()
+        self._wrote = True
+        return True
+
+    def close(self) -> None:
+        """End the status line so subsequent output starts clean."""
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._wrote = False

@@ -1,0 +1,125 @@
+"""``repro report``: render one run record as a dashboard.
+
+ASCII (terminal) or Markdown (CI artifact) -- same sections either
+way: run metadata, per-phase latency percentiles broken out by
+policy x protocol x cohort, the headline paper metrics, and the SLO
+verdicts stored in (or re-evaluated against) the record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.render import render_table
+from repro.obs.ledger import RunRecord, histogram_from_doc
+
+#: Percentiles shown per phase series.
+REPORT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def _markdown_table(title: str, headers: Sequence[str],
+                    rows: Sequence[Sequence[object]]) -> str:
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("| " + " | ".join("---" for _ in headers) + " |")
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(value) for value in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _table(fmt: str, title: str, headers: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> str:
+    if fmt == "markdown":
+        return _markdown_table(title, headers, rows)
+    return render_table(title, headers, rows)
+
+
+def _ms(value: float) -> str:
+    return f"{value:.1f}"
+
+
+def phase_rows(record: RunRecord) -> List[List[str]]:
+    """Percentile rows for every phase series, in canonical order."""
+    rows: List[List[str]] = []
+    for doc in record.phases:
+        histogram = histogram_from_doc(doc)
+        labels = doc["labels"]
+        name = doc["name"]
+        short = name[len("phase."):] if name.startswith("phase.") \
+            else name
+        row = [
+            short,
+            labels.get("policy", "-"),
+            labels.get("protocol", "-"),
+            labels.get("cohort", "-"),
+            str(histogram.count),
+            _ms(histogram.mean),
+        ]
+        row.extend(
+            _ms(histogram.percentile(q)) for q in REPORT_QUANTILES
+        )
+        row.append(_ms(histogram.max) if histogram.count else "-")
+        rows.append(row)
+    return rows
+
+
+def render_report(record: RunRecord, fmt: str = "ascii") -> str:
+    """The full dashboard for one record."""
+    sections: List[str] = []
+    if fmt == "markdown":
+        sections.append(f"## Run `{record.run_id}`")
+    else:
+        sections.append(f"run {record.run_id}")
+    meta_rows = [
+        [key, str(value)]
+        for key, value in sorted(record.meta.items())
+        if key != "run"
+    ]
+    sections.append(_table(fmt, "run metadata", ["field", "value"],
+                           meta_rows))
+    headers = ["phase", "policy", "protocol", "cohort", "count",
+               "mean ms"]
+    headers.extend(f"p{q * 100:g} ms" for q in REPORT_QUANTILES)
+    headers.append("max ms")
+    rows = phase_rows(record)
+    if rows:
+        sections.append(
+            _table(fmt, "phase latency (ms)", headers, rows)
+        )
+    else:
+        sections.append("(no phase histograms in this record)")
+    headline_rows = [
+        [key, str(value)]
+        for key, value in sorted(record.headline.items())
+    ]
+    if headline_rows:
+        sections.append(_table(fmt, "headline metrics",
+                               ["metric", "value"], headline_rows))
+    if record.slo:
+        slo_rows = []
+        for doc in record.slo:
+            if doc.get("measured") is None:
+                verdict, measured = "no data", "-"
+            else:
+                verdict = "PASS" if doc.get("ok") else "FAIL"
+                measured = str(doc["measured"])
+            slo_rows.append([
+                doc.get("name", "?"), doc.get("target", ""),
+                measured, str(doc.get("count", 0)), verdict,
+            ])
+        sections.append(_table(
+            fmt, "SLO verdicts",
+            ["slo", "target", "measured", "samples", "verdict"],
+            slo_rows,
+        ))
+    return "\n\n".join(sections) + "\n"
+
+
+def slo_failures(record: RunRecord) -> List[str]:
+    """Names of failing SLO rows (for ``repro report --check``)."""
+    return [
+        doc.get("name", "?") for doc in record.slo
+        if doc.get("measured") is not None and not doc.get("ok")
+    ]

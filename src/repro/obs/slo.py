@@ -1,0 +1,295 @@
+"""Declarative SLOs (``slo.toml``) and their evaluation.
+
+An SLO file is a list of ``[[slo]]`` tables.  Two rule shapes exist:
+
+* **phase rules** gate a latency percentile of one phase histogram,
+  optionally filtered by policy/protocol/cohort (``fnmatch`` globs,
+  ``*`` matches everything)::
+
+      [[slo]]
+      name = "dns-p90"
+      phase = "dns"          # dns | connect | tls | ttfb | page
+      quantile = 0.9
+      max_ms = 200.0
+      policy = "chromium"    # optional filters, default "*"
+
+* **metric rules** gate a headline metric with a max and/or min::
+
+      [[slo]]
+      name = "no-failures"
+      metric = "pages_failed"
+      max = 0
+
+The parser is a deliberate TOML subset (table arrays, quoted strings,
+numbers, booleans, comments) implemented here so the gate file works
+on every supported Python -- ``tomllib`` only exists from 3.11 and
+this repo adds no dependencies.  Anything outside the subset is a
+loud :class:`SloError`, never a silent misread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class SloError(ValueError):
+    """The SLO file could not be parsed or validated."""
+
+
+@dataclass
+class SloRule:
+    """One gate: either a phase-percentile rule or a metric rule."""
+
+    name: str
+    phase: Optional[str] = None
+    quantile: Optional[float] = None
+    max_ms: Optional[float] = None
+    metric: Optional[str] = None
+    max_value: Optional[float] = None
+    min_value: Optional[float] = None
+    policy: str = "*"
+    protocol: str = "*"
+    cohort: str = "*"
+
+    @property
+    def target(self) -> str:
+        """Human-readable statement of the gate."""
+        if self.phase is not None:
+            filters = "".join(
+                f" {key}={value}"
+                for key, value in (("policy", self.policy),
+                                   ("protocol", self.protocol),
+                                   ("cohort", self.cohort))
+                if value != "*"
+            )
+            return (f"p{self.quantile * 100:g} {self.phase}"
+                    f" <= {self.max_ms:g}ms{filters}")
+        parts = []
+        if self.max_value is not None:
+            parts.append(f"{self.metric} <= {self.max_value:g}")
+        if self.min_value is not None:
+            parts.append(f"{self.metric} >= {self.min_value:g}")
+        return " and ".join(parts)
+
+    def matches(self, labels: Dict[str, str]) -> bool:
+        return (
+            fnmatchcase(labels.get("policy", "-"), self.policy)
+            and fnmatchcase(labels.get("protocol", "-"), self.protocol)
+            and fnmatchcase(labels.get("cohort", "-"), self.cohort)
+        )
+
+
+# -- the TOML-subset parser ------------------------------------------------
+
+_RULE_KEYS = {
+    "name", "phase", "quantile", "max_ms", "metric", "max", "min",
+    "policy", "protocol", "cohort",
+}
+_STRING_KEYS = {"name", "phase", "metric", "policy", "protocol",
+                "cohort"}
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment that is not inside a string."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_value(key: str, raw: str, where: str):
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise SloError(
+            f"{where}: value for {key!r} must be a quoted string, "
+            f"number, or boolean, got {raw!r}"
+        ) from None
+
+
+def _finish_rule(table: Dict[str, object], where: str) -> SloRule:
+    unknown = set(table) - _RULE_KEYS
+    if unknown:
+        raise SloError(
+            f"{where}: unknown key(s) {sorted(unknown)}; "
+            f"expected {sorted(_RULE_KEYS)}"
+        )
+    for key in _STRING_KEYS & set(table):
+        if not isinstance(table[key], str):
+            raise SloError(f"{where}: {key!r} must be a string")
+    phase = table.get("phase")
+    metric = table.get("metric")
+    if (phase is None) == (metric is None):
+        raise SloError(
+            f"{where}: exactly one of 'phase' or 'metric' is required"
+        )
+    if phase is not None:
+        quantile = table.get("quantile")
+        max_ms = table.get("max_ms")
+        if quantile is None or max_ms is None:
+            raise SloError(
+                f"{where}: a phase rule needs 'quantile' and 'max_ms'"
+            )
+        quantile = float(quantile)
+        if not 0.0 <= quantile <= 1.0:
+            raise SloError(
+                f"{where}: quantile must be in [0, 1], got {quantile}"
+            )
+        name = table.get("name") or f"{phase}-p{quantile * 100:g}"
+        return SloRule(
+            name=str(name),
+            phase=str(phase),
+            quantile=quantile,
+            max_ms=float(max_ms),
+            policy=str(table.get("policy", "*")),
+            protocol=str(table.get("protocol", "*")),
+            cohort=str(table.get("cohort", "*")),
+        )
+    max_value = table.get("max")
+    min_value = table.get("min")
+    if max_value is None and min_value is None:
+        raise SloError(
+            f"{where}: a metric rule needs 'max' and/or 'min'"
+        )
+    name = table.get("name") or str(metric)
+    return SloRule(
+        name=str(name),
+        metric=str(metric),
+        max_value=None if max_value is None else float(max_value),
+        min_value=None if min_value is None else float(min_value),
+    )
+
+
+def parse_slo(text: str, source: str = "<slo>") -> List[SloRule]:
+    """Parse an ``slo.toml`` into rules (see the module docstring for
+    the accepted subset)."""
+    rules: List[SloRule] = []
+    table: Optional[Dict[str, object]] = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        where = f"{source}:{number}"
+        if not line:
+            continue
+        if line == "[[slo]]":
+            if table is not None:
+                rules.append(_finish_rule(table, where))
+            table = {}
+            continue
+        if line.startswith("["):
+            raise SloError(
+                f"{where}: only [[slo]] tables are supported, "
+                f"got {line!r}"
+            )
+        if "=" not in line:
+            raise SloError(f"{where}: expected 'key = value'")
+        if table is None:
+            raise SloError(
+                f"{where}: key outside any [[slo]] table"
+            )
+        key, _, raw_value = line.partition("=")
+        key = key.strip()
+        table[key] = _parse_value(key, raw_value, where)
+    if table is not None:
+        rules.append(_finish_rule(table, f"{source}:EOF"))
+    names = [rule.name for rule in rules]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise SloError(
+            f"{source}: duplicate rule name(s) {sorted(duplicates)}"
+        )
+    return rules
+
+
+def load_slo(path) -> List[SloRule]:
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise SloError(f"cannot read {path}: {error}") from error
+    return parse_slo(text, source=str(path))
+
+
+# -- evaluation ------------------------------------------------------------
+
+
+def evaluate_slos(
+    rules: Sequence[SloRule],
+    phase_docs: Sequence[dict],
+    headline: Dict[str, float],
+) -> List[dict]:
+    """Evaluate every rule against a record's phases and headline.
+
+    Returns one verdict doc per rule (the record's ``slo`` lines):
+    ``{"name", "target", "measured", "count", "ok"}``.  A rule with no
+    matching data passes with ``measured: null`` -- absence of traffic
+    is not a latency violation, and the report renders it as such.
+    """
+    from repro.obs.ledger import merge_phase_docs
+
+    rows: List[dict] = []
+    for rule in rules:
+        if rule.phase is not None:
+            wanted = f"phase.{rule.phase}"
+            matching = [
+                doc for doc in phase_docs
+                if doc["name"] == wanted and rule.matches(doc["labels"])
+            ]
+            merged = merge_phase_docs(matching) if matching else None
+            if merged is None or not merged.count:
+                rows.append({
+                    "name": rule.name, "target": rule.target,
+                    "measured": None, "count": 0, "ok": True,
+                })
+                continue
+            measured = round(merged.percentile(rule.quantile), 6)
+            rows.append({
+                "name": rule.name, "target": rule.target,
+                "measured": measured, "count": merged.count,
+                "ok": measured <= rule.max_ms,
+            })
+            continue
+        value = headline.get(rule.metric)
+        if value is None:
+            rows.append({
+                "name": rule.name, "target": rule.target,
+                "measured": None, "count": 0, "ok": True,
+            })
+            continue
+        ok = True
+        if rule.max_value is not None and value > rule.max_value:
+            ok = False
+        if rule.min_value is not None and value < rule.min_value:
+            ok = False
+        rows.append({
+            "name": rule.name, "target": rule.target,
+            "measured": value, "count": 1, "ok": ok,
+        })
+    return rows
+
+
+def slo_burn(
+    rules: Sequence[SloRule],
+    phase_docs: Sequence[dict],
+) -> Tuple[int, int]:
+    """Mid-run burn: ``(failing, evaluated)`` over the phase rules
+    only (headline metrics do not exist until the run ends).  The
+    heartbeat prints this against merged-so-far histograms."""
+    phase_rules = [rule for rule in rules if rule.phase is not None]
+    verdicts = evaluate_slos(phase_rules, phase_docs, {})
+    failing = sum(1 for row in verdicts if not row["ok"])
+    return failing, len(verdicts)

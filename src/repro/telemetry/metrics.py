@@ -16,6 +16,7 @@ metrics as ``--jobs 1``.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -113,26 +114,38 @@ class Histogram:
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
+        # First bound >= value; the trailing inf bound guarantees a hit.
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Upper bound of the bucket holding quantile ``q`` (0..1)."""
+        """Upper bound of the bucket holding quantile ``q`` (0..1).
+
+        No interpolation: mid quantiles return the containing bucket's
+        upper bound (conservative, deterministic).  The extremes are
+        exact -- ``q <= 0`` returns the observed ``min`` and ``q >= 1``
+        the observed ``max`` (likewise when the quantile lands in the
+        ``inf`` tail bucket).  An empty histogram reads 0.0.
+        """
         if not self.count:
             return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
         target = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.bucket_counts):
             cumulative += bucket_count
             if cumulative >= target:
                 bound = self.bounds[index]
-                return self.max if math.isinf(bound) else bound
+                # Clamp to the observed max: still an upper bound on
+                # the true quantile, never past the data.
+                return self.max if math.isinf(bound) \
+                    else min(bound, self.max)
         return self.max
 
     def __repr__(self) -> str:

@@ -24,7 +24,8 @@ from repro.dataset.shard import _mp_context
 from repro.dataset.world import CDN_REGION, TAIL_REGION, build_world
 from repro.deployment.experiment import deployment_world_config
 from repro.netsim import Host, LinkSpec
-from repro.telemetry import CrawlTrace, Telemetry
+from repro.obs.phases import PhaseRecorder
+from repro.telemetry import CrawlTrace, Span, Telemetry
 from repro.traffic.aggregate import TrafficAggregate
 from repro.traffic.edge import EdgeLoadMonitor, apply_edge_capacity
 from repro.traffic.population import UserProfile, build_population
@@ -173,10 +174,17 @@ def _user_engine(
     TLS 1.2 fallback are disabled, so a user's behaviour is a pure
     function of the schedule -- concurrency cannot reorder draws."""
     cohort = profile.cohort
+    resolver = world.make_resolver(median_latency_ms=DNS_LATENCY_MS)
+    # Phase latencies are keyed per cohort x policy; recorders over
+    # the shared registry dedupe onto the same histograms, so this
+    # costs one small object per user.
+    phases = PhaseRecorder(telemetry.metrics,
+                           policy=cohort.policy, cohort=cohort.name)
+    resolver.phases = phases
     context = BrowserContext(
         network=world.network,
         client_host=_user_host(world, profile.user_id),
-        resolver=world.make_resolver(median_latency_ms=DNS_LATENCY_MS),
+        resolver=resolver,
         trust_store=world.trust_store,
         authorities=world.authorities,
         policy=policies[cohort.policy],
@@ -191,20 +199,23 @@ def _user_engine(
         alpn=("h2",),
         goaway_retry_limit=scenario.goaway_retry_limit,
         goaway_retry_backoff_ms=scenario.goaway_retry_backoff_ms,
+        phases=phases,
     )
     return BrowserEngine(context)
 
 
 def simulate_shard(
-    shard: UserShard, audit: bool = True,
-) -> Tuple[TrafficAggregate, List[AuditEvent], EdgeLoadMonitor]:
+    shard: UserShard, audit: bool = True, trace: bool = False,
+) -> Tuple[TrafficAggregate, List[AuditEvent], List[Span], List[dict],
+           EdgeLoadMonitor]:
     """Simulate one user-population shard.
 
     Returns the shard's aggregate, its audit events (empty when
     ``audit`` is off; decisions are still audited internally so retry
-    accounting never depends on the flag), and the edge monitor (whose
-    sampled passive records are useful in-process; they are not merged
-    across worker boundaries).
+    accounting never depends on the flag), its spans (empty unless
+    ``trace``), its metrics snapshot (phase histograms and any traced
+    counters), and the edge monitor (whose sampled passive records are
+    useful in-process; they are not merged across worker boundaries).
     """
     scenario = shard.scenario
     world = _build_traffic_world(scenario)
@@ -217,7 +228,7 @@ def simulate_shard(
         bucket_ms=scenario.bucket_ms,
         shard_count=shard.shard_count,
     )
-    telemetry = Telemetry(clock=loop.now, trace=False, audit=True)
+    telemetry = Telemetry(clock=loop.now, trace=trace, audit=True)
     monitor = EdgeLoadMonitor(
         world, aggregate,
         sample_rate=scenario.passive_sample_rate,
@@ -291,16 +302,29 @@ def simulate_shard(
     # Per-edge peaks sum replica-style in ``merge``; the fleet total is
     # the true all-edge gauge peak, not the sum of per-edge peaks.
     aggregate.totals.peak_concurrent = monitor.peak_connections
-    return aggregate, (events if audit else []), monitor
+    return (
+        aggregate,
+        (events if audit else []),
+        (telemetry.tracer.spans if trace else []),
+        telemetry.metrics.snapshot(),
+        monitor,
+    )
 
 
 def _simulate_shard_json(
-    payload: Tuple[UserShard, bool]
-) -> Tuple[dict, List[dict]]:
+    payload: Tuple[UserShard, bool, bool]
+) -> Tuple[dict, List[dict], List[dict], List[dict]]:
     """Picklable worker entry point: everything as JSON-able docs."""
-    shard, audit = payload
-    aggregate, events, _ = simulate_shard(shard, audit=audit)
-    return aggregate.to_dict(), [event.to_dict() for event in events]
+    shard, audit, trace = payload
+    aggregate, events, spans, metrics, _ = simulate_shard(
+        shard, audit=audit, trace=trace
+    )
+    return (
+        aggregate.to_dict(),
+        [event.to_dict() for event in events],
+        [span.to_dict() for span in spans],
+        metrics,
+    )
 
 
 def run_scenario(
@@ -308,14 +332,17 @@ def run_scenario(
     shard_count: Optional[int] = None,
     jobs: int = 1,
     audit: bool = True,
+    trace: bool = False,
     progress: Optional[Callable[[int, int], None]] = None,
+    watch: Optional[Callable[[int, int, CrawlTrace], None]] = None,
 ) -> Tuple[TrafficAggregate, CrawlTrace]:
     """Run a scenario over its shard plan, merging in shard order.
 
     Every shard's aggregate round-trips through its worker
     serialization even in-process, so ``jobs`` never changes a byte
     (the round-trip is where per-shard floats get their canonical
-    rounding).
+    rounding).  ``watch`` (if given) sees the merged-so-far trace
+    after each shard -- the run ledger's heartbeat hook.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -326,34 +353,42 @@ def run_scenario(
         bucket_ms=scenario.bucket_ms,
         shard_count=total,
     )
-    trace = CrawlTrace()
+    crawl_trace = CrawlTrace()
+
+    def adopt(done: int, shard_index: int, doc, event_docs,
+              span_docs, metrics) -> None:
+        merged.merge(TrafficAggregate.from_dict(doc))
+        crawl_trace.extend(
+            [Span.from_dict(d) for d in span_docs], shard=shard_index
+        )
+        crawl_trace.extend_audit(
+            [AuditEvent.from_dict(d) for d in event_docs],
+            shard=shard_index,
+        )
+        crawl_trace.metrics.absorb(metrics)
+        if progress is not None:
+            progress(done, total)
+        if watch is not None:
+            watch(done, total, crawl_trace)
+
     if jobs == 1 or total == 1:
         for done, shard in enumerate(shards, start=1):
-            doc, event_docs = _simulate_shard_json((shard, audit))
-            merged.merge(TrafficAggregate.from_dict(doc))
-            trace.extend_audit(
-                [AuditEvent.from_dict(d) for d in event_docs],
-                shard=shard.index,
+            doc, event_docs, span_docs, metrics = _simulate_shard_json(
+                (shard, audit, trace)
             )
-            if progress is not None:
-                progress(done, total)
-        return merged, trace
-    payloads = [(shard, audit) for shard in shards]
+            adopt(done, shard.index, doc, event_docs, span_docs, metrics)
+        return merged, crawl_trace
+    payloads = [(shard, audit, trace) for shard in shards]
     workers = min(jobs, total)
     with _mp_context().Pool(processes=workers) as pool:
         # imap preserves shard order while letting shards finish out
         # of order in the workers.
-        for done, (doc, event_docs) in enumerate(
+        for done, (doc, event_docs, span_docs, metrics) in enumerate(
             pool.imap(_simulate_shard_json, payloads), start=1
         ):
-            merged.merge(TrafficAggregate.from_dict(doc))
-            trace.extend_audit(
-                [AuditEvent.from_dict(d) for d in event_docs],
-                shard=shards[done - 1].index,
-            )
-            if progress is not None:
-                progress(done, total)
-    return merged, trace
+            adopt(done, shards[done - 1].index, doc, event_docs,
+                  span_docs, metrics)
+    return merged, crawl_trace
 
 
 def run_what_if(

@@ -44,6 +44,7 @@ from repro.h2.tls_channel import (
 )
 from repro.netsim.network import Host, Network
 from repro.netsim.transport import Transport
+from repro.obs.phases import NULL_PHASES, observe_handshake
 from repro.telemetry import NULL_TRACER
 from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.certificate import Certificate
@@ -504,6 +505,7 @@ class QuicDialer(Dialer):
         audit=None,
         page: str = "",
         metrics=None,
+        phases=None,
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -517,6 +519,7 @@ class QuicDialer(Dialer):
         self.audit = audit if audit is not None else NULL_AUDIT
         self.page = page
         self.metrics = metrics
+        self.phases = phases if phases is not None else NULL_PHASES
 
     def config(self, sni: str) -> QuicClientConfig:
         return QuicClientConfig(
@@ -539,7 +542,7 @@ class QuicDialer(Dialer):
     ) -> QuicClientSession:
         # ``tls13`` is accepted for interface parity and ignored: QUIC
         # is TLS 1.3 only.
-        return QuicClientSession(
+        session = QuicClientSession(
             self.network,
             self.client_host,
             ip,
@@ -551,3 +554,7 @@ class QuicDialer(Dialer):
             page=self.page,
             metrics=self.metrics,
         )
+        if self.phases.enabled:
+            phases = self.phases
+            session.when_ready(lambda: observe_handshake(phases, session))
+        return session

@@ -15,6 +15,7 @@ from repro.audit.log import NULL_AUDIT
 from repro.h2.client import H2ClientSession
 from repro.h2.tls_channel import TlsClientConfig
 from repro.netsim.network import Host, Network
+from repro.obs.phases import NULL_PHASES, observe_handshake
 from repro.telemetry import NULL_TRACER
 from repro.tlspki.ca import CertificateAuthority
 from repro.tlspki.validation import TrustStore
@@ -45,6 +46,7 @@ class TcpTlsDialer(Dialer):
         tracer=None,
         audit=None,
         page: str = "",
+        phases=None,
     ) -> None:
         self.network = network
         self.client_host = client_host
@@ -58,6 +60,7 @@ class TcpTlsDialer(Dialer):
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.audit = audit if audit is not None else NULL_AUDIT
         self.page = page
+        self.phases = phases if phases is not None else NULL_PHASES
 
     def tls_config(self, sni: str) -> TlsClientConfig:
         return TlsClientConfig(
@@ -78,7 +81,7 @@ class TcpTlsDialer(Dialer):
         config = self.tls_config(hostname)
         if tls13 is not None:
             config.tls13 = tls13
-        return H2ClientSession(
+        session = H2ClientSession(
             self.network,
             self.client_host,
             ip,
@@ -89,6 +92,10 @@ class TcpTlsDialer(Dialer):
             audit=self.audit,
             page=self.page,
         )
+        if self.phases.enabled:
+            phases = self.phases
+            session.when_ready(lambda: observe_handshake(phases, session))
+        return session
 
     def plain_protocol(self, transport):
         """Cleartext HTTP/1.1 over an already-connected transport (no

@@ -129,6 +129,45 @@ class TestMetricsRegistry:
         assert histogram.percentile(1.0) == 250.0  # inf bucket -> max
         assert histogram.min == 1.0 and histogram.max == 250.0
 
+    def test_percentile_extremes_are_exact(self):
+        histogram = MetricsRegistry().histogram(
+            "lat", buckets=(10.0, 100.0)
+        )
+        for value in (3.0, 7.0, 42.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.0) == 3.0
+        assert histogram.percentile(-0.5) == 3.0
+        assert histogram.percentile(1.0) == 42.0
+        assert histogram.percentile(1.5) == 42.0
+
+    def test_percentile_empty_histogram_reads_zero(self):
+        histogram = MetricsRegistry().histogram("lat")
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(1.0) == 0.0
+
+    def test_percentile_clamped_to_observed_max(self):
+        # The p90 bucket bound (200) exceeds every observation; the
+        # estimate must not report latency the run never saw.
+        histogram = MetricsRegistry().histogram(
+            "lat", buckets=(100.0, 200.0)
+        )
+        for value in (120.0, 130.0, 140.0):
+            histogram.observe(value)
+        assert histogram.percentile(0.9) == 140.0
+
+    def test_observe_bisect_matches_bucket_semantics(self):
+        # Upper-bound buckets: a value exactly on a bound lands in
+        # that bound's bucket (bisect_left keeps the linear-scan
+        # behaviour of `value <= bound`).
+        histogram = MetricsRegistry().histogram(
+            "lat", buckets=(10.0, 100.0)
+        )
+        histogram.observe(10.0)
+        histogram.observe(10.5)
+        histogram.observe(2500.0)
+        assert histogram.bucket_counts == [1, 1, 1]
+
     def test_snapshot_is_json_serializable(self):
         registry = MetricsRegistry()
         registry.counter("c").inc()
@@ -270,6 +309,41 @@ class TestExporters:
         assert "page.load_ms" in text
         assert render_metrics_summary(MetricsRegistry()) \
             == "(no metrics recorded)"
+
+    def test_summary_empty_histogram_renders_dash_max(self):
+        registry = MetricsRegistry()
+        registry.histogram("phase.dns")  # registered, never observed
+        text = render_metrics_summary(registry)
+        line = next(l for l in text.splitlines() if "phase.dns" in l)
+        assert line.rstrip().endswith("-")  # Max column
+        assert " 0 " in line  # Count column
+
+    def test_summary_single_bucket_histogram(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(50.0,))
+        histogram.observe(10.0)
+        histogram.observe(20.0)
+        text = render_metrics_summary(registry)
+        line = next(l for l in text.splitlines() if l.startswith("h"))
+        # p50/p90 land in the only finite bucket, clamped to max.
+        assert "20.0" in line
+        assert "15.0" in line  # mean
+
+    def test_summary_renders_merged_shard_histograms(self):
+        shard0, shard1, merged = (
+            MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+        )
+        shard0.histogram("phase.ttfb", policy="chromium").observe(10.0)
+        shard1.histogram("phase.ttfb", policy="chromium").observe(400.0)
+        merged.absorb(shard0.snapshot())
+        merged.absorb(shard1.snapshot())
+        text = render_metrics_summary(merged)
+        line = next(
+            l for l in text.splitlines() if "phase.ttfb" in l
+        )
+        assert "policy=chromium" in line
+        assert " 2 " in line  # merged count
+        assert "400.0" in line  # merged max
 
 
 class TestCrawlTrace:

@@ -187,7 +187,7 @@ class TestFleetOriginDeployment:
 class TestSimulateShard:
     def test_counters_and_audit_reconcile(self):
         shard = plan_user_shards(tiny_scenario(), 1)[0]
-        aggregate, events, monitor = simulate_shard(shard)
+        aggregate, events, _, _, monitor = simulate_shard(shard)
         assert aggregate.visits > 0
         assert aggregate.completed > 0
         assert aggregate.totals.connections > 0
@@ -207,7 +207,7 @@ class TestSimulateShard:
         shard = plan_user_shards(
             tiny_scenario(users=16, mean_visits_per_user=3.0), 1,
         )[0]
-        aggregate, _, _ = simulate_shard(shard, audit=False)
+        aggregate, _, _, _, _ = simulate_shard(shard, audit=False)
         revisits = sum(t.revisits for t in aggregate.cohorts.values())
         cached = sum(
             t.cached_responses for t in aggregate.cohorts.values()
@@ -220,7 +220,7 @@ class TestSimulateShard:
         shard = plan_user_shards(
             tiny_scenario(users=16, edge_capacity=2), 1,
         )[0]
-        aggregate, events, _ = simulate_shard(shard)
+        aggregate, events, _, _, _ = simulate_shard(shard)
         assert aggregate.totals.goaways > 0
         assert aggregate.retries > 0
         reasons = {event.reason for event in events}
@@ -232,7 +232,7 @@ class TestSimulateShard:
             tiny_scenario(users=16, edge_capacity=2,
                           goaway_retry_limit=0), 1,
         )[0]
-        aggregate, _, _ = simulate_shard(shard, audit=False)
+        aggregate, _, _, _, _ = simulate_shard(shard, audit=False)
         assert aggregate.totals.goaways > 0
         assert aggregate.retries == 0
         assert aggregate.failed > 0  # refused loads fail, not crash
