@@ -1,0 +1,65 @@
+"""``repro cache`` -- inspect or prune the content-addressed crawl
+cache."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cli.args import _nonnegative_int
+from repro.runtime.console import diag as _diag
+
+
+def cmd_cache(args) -> int:
+    from repro.dataset.cache import CrawlCache
+
+    import time as time_module
+
+    cache = CrawlCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        now = time_module.time()
+        print(f"cache: {stats.root}")
+        print(f"{stats.count} entries, "
+              f"{stats.total_bytes / 1_048_576:.1f} MiB")
+        if stats.entries:
+            print()
+            print(render_table(
+                "Entries (newest first)",
+                ["Key", "Size (MiB)", "Age (days)"],
+                [(entry.key,
+                  f"{entry.size_bytes / 1_048_576:.2f}",
+                  f"{(now - entry.modified_at) / 86_400:.1f}")
+                 for entry in stats.entries],
+            ))
+        return 0
+    # prune
+    if args.max_entries is None and args.max_age_days is None:
+        _diag("cache: prune needs --max-entries and/or --max-age-days "
+              "(use stats to inspect first)")
+        return 2
+    removed = cache.prune(
+        max_entries=args.max_entries, max_age_days=args.max_age_days
+    )
+    freed = sum(entry.size_bytes for entry in removed)
+    print(f"pruned {len(removed)} entries, "
+          f"{freed / 1_048_576:.1f} MiB freed")
+    for entry in removed:
+        _diag(f"removed {entry.path}")
+    return 0
+
+
+def register(sub) -> None:
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed crawl cache",
+    )
+    cache_cmd.add_argument("action", choices=("stats", "prune"))
+    cache_cmd.add_argument("--cache-dir", default=None,
+                           help="cache directory (default "
+                                "$REPRO_CRAWL_CACHE or "
+                                "~/.cache/repro/crawls)")
+    cache_cmd.add_argument("--max-entries", type=_nonnegative_int,
+                           default=None,
+                           help="prune: keep at most N newest entries")
+    cache_cmd.add_argument("--max-age-days", type=float, default=None,
+                           help="prune: drop entries older than this")
+    cache_cmd.set_defaults(func=cmd_cache)

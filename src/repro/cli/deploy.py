@@ -1,0 +1,60 @@
+"""``repro deploy`` -- the §5 deployment experiment (Figures 6/7b,
+passive pipeline)."""
+
+from __future__ import annotations
+
+from repro.analysis import format_pct, render_table
+from repro.cli.args import add_dataset_options
+
+
+def cmd_deploy(args) -> int:
+    from repro.dataset.world import build_world
+    from repro.deployment import (
+        ActiveMeasurement,
+        DeploymentExperiment,
+        PassivePipeline,
+    )
+    from repro.deployment.active import FIREFOX_91_UA
+    from repro.deployment.experiment import Group, deployment_world_config
+
+    world = build_world(
+        deployment_world_config(site_count=args.sites, seed=args.seed)
+    )
+    experiment = DeploymentExperiment(world)
+    experiment.reissue_certificates()
+    print(f"sample: {len(experiment.sample)} sites; certificates "
+          "reissued with byte-equal SAN additions")
+
+    if args.phase == "ip":
+        experiment.deploy_ip_coalescing()
+        active = ActiveMeasurement(experiment, origin_frames=False,
+                                   user_agent=FIREFOX_91_UA)
+    else:
+        experiment.enable_origin_frames()
+        active = ActiveMeasurement(experiment, origin_frames=True)
+    pipeline = PassivePipeline(experiment, sampling_rate=1.0)
+    pipeline.attach()
+    result = active.run()
+    pipeline.detach()
+
+    print()
+    print(render_table(
+        f"Figure 7 -- new TLS connections to {experiment.third_party} "
+        f"({args.phase} phase)",
+        ["#New conns", "Experiment", "Control"],
+        [(count,
+          format_pct(result.fraction_with(Group.EXPERIMENT, count)),
+          format_pct(result.fraction_with(Group.CONTROL, count)))
+         for count in range(5)],
+    ))
+    print(f"\npassive reduction in new third-party TLS connections: "
+          f"{format_pct(pipeline.tls_connection_reduction())}")
+    return 0
+
+
+def register(sub) -> None:
+    deploy = sub.add_parser("deploy", help="run the §5 deployment")
+    add_dataset_options(deploy)
+    deploy.add_argument("--phase", choices=("ip", "origin"),
+                        default="origin")
+    deploy.set_defaults(func=cmd_deploy)

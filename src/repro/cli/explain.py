@@ -1,0 +1,119 @@
+"""``repro explain`` / ``repro audit-diff`` -- reason-coded decision
+analysis: annotated waterfalls, miss-reason breakdowns, and
+decision-by-decision comparison of two audit exports."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cli.args import (
+    BREAKDOWN_METRICS,
+    POLICIES,
+    _nonnegative_int,
+    _parse_breakdown,
+    add_crawl_pipeline_options,
+    add_dataset_options,
+)
+from repro.cli.invoke import crawl_pipeline
+from repro.runtime.console import diag as _diag
+
+
+def cmd_explain(args) -> int:
+    from repro.audit.explain import render_explanation, render_taxonomy
+
+    if args.taxonomy:
+        print(render_taxonomy())
+        return 0
+
+    def render(outcome) -> None:
+        result, trace = outcome.result, outcome.trace
+        _diag(f"explain: {len(trace.audit)} audit events over "
+              f"{result.attempted} pages")
+        print(render_explanation(
+            result.archives,
+            trace.audit,
+            pages=args.pages,
+            metrics=args.breakdown,
+        ))
+        from repro.audit.reasons import ReasonCode
+
+        protocol_codes = {
+            ReasonCode.ALT_SVC_UPGRADE, ReasonCode.HTTPS_RR_H3,
+            ReasonCode.QUIC_HANDSHAKE_1RTT, ReasonCode.ZERO_RTT_RESUMED,
+            ReasonCode.CROSS_HOST_TICKET, ReasonCode.TLS_ALPN_FALLBACK,
+        }
+        protocol_events = [
+            event for event in trace.audit
+            if event.kind in ("quic", "h3") or event.code in protocol_codes
+        ]
+        if protocol_events:
+            from collections import Counter
+
+            counts = Counter(event.code for event in protocol_events)
+            print()
+            print(render_table(
+                "Protocol events (h3 discovery and QUIC resumption)",
+                ["Reason", "#Events"],
+                [(code.value, count)
+                 for code, count in sorted(counts.items(),
+                                           key=lambda kv: -kv[1])],
+            ))
+
+    crawl_pipeline(args, args.policy, force_audit=True,
+                   render=render).run()
+    return 0
+
+
+def cmd_audit_diff(args) -> int:
+    from repro.audit.diff import (
+        diff_decisions,
+        load_audit_jsonl,
+        render_diff,
+    )
+    from repro.audit.reasons import UnknownReasonCode
+
+    try:
+        events_a = load_audit_jsonl(args.a)
+        events_b = load_audit_jsonl(args.b)
+    except UnknownReasonCode as error:
+        _diag(f"audit-diff: {error}")
+        return 2
+    except OSError as error:
+        _diag(f"audit-diff: {error}")
+        return 2
+    diff = diff_decisions(events_a, events_b)
+    _diag(f"audit-diff: {len(events_a)} events in {args.a}, "
+          f"{len(events_b)} in {args.b}")
+    print(render_diff(diff, label_a=str(args.a), label_b=str(args.b)))
+    return 0 if diff.clean else 1
+
+
+def register(sub) -> None:
+    explain = sub.add_parser(
+        "explain",
+        help="annotated waterfalls + miss-reason gap breakdown",
+    )
+    add_dataset_options(explain)
+    add_crawl_pipeline_options(explain)
+    explain.add_argument("--policy", choices=sorted(POLICIES),
+                         default="chromium")
+    explain.add_argument("--pages", type=_nonnegative_int, default=None,
+                         help="render only the first N per-page "
+                              "waterfalls (0 = breakdown tables only; "
+                              "default: all pages)")
+    explain.add_argument("--breakdown", type=_parse_breakdown,
+                         default=list(BREAKDOWN_METRICS),
+                         help="comma-separated breakdown metrics "
+                              f"({','.join(BREAKDOWN_METRICS)} or "
+                              "'all'; default all)")
+    explain.add_argument("--taxonomy", action="store_true",
+                         help="print the reason-code taxonomy table "
+                              "and exit (no crawl)")
+    explain.set_defaults(func=cmd_explain)
+
+    audit_diff = sub.add_parser(
+        "audit-diff",
+        help="compare two audit JSONL exports decision-by-decision",
+    )
+    audit_diff.add_argument("a", help="baseline audit JSONL")
+    audit_diff.add_argument("b", help="comparison audit JSONL")
+    audit_diff.set_defaults(func=cmd_audit_diff)

@@ -1,0 +1,56 @@
+"""Bridge argparse namespaces onto the run pipeline.
+
+One adapter per workload: lift the parsed flags into the declarative
+pipeline parts (workload + instrumentation + backend) so the command
+modules only choose a policy and render output.
+"""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    CrawlWorkload,
+    ExecutionBackend,
+    InstrumentationOptions,
+    RunPipeline,
+    TrafficWorkload,
+)
+
+
+def crawl_pipeline(args, policy_name: str, force_audit: bool = False,
+                   render=None) -> RunPipeline:
+    """The shared crawl pipeline behind ``crawl``/``model``/
+    ``privacy``/``explain``."""
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import CrawlParams
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(
+        policy=policy_name, speculative_rate=0.10,
+        alpn=getattr(args, "alpn", "h2"),
+        dns_latency_ms=getattr(args, "dns_latency", 48.0),
+    )
+    workload = CrawlWorkload(
+        config, params, shards=args.shards,
+        cache_dir=args.cache_dir, no_cache=args.no_cache,
+        refresh=args.refresh, command=args.command,
+    )
+    return RunPipeline(
+        workload,
+        instrumentation=InstrumentationOptions.from_args(
+            args, force_audit=force_audit),
+        backend=ExecutionBackend(jobs=args.jobs),
+        render=render,
+    )
+
+
+def traffic_pipeline(args, scenario, render=None) -> RunPipeline:
+    workload = TrafficWorkload(
+        scenario, shards=args.shards,
+        scenario_name=args.scenario, aggregate_out=args.out,
+    )
+    return RunPipeline(
+        workload,
+        instrumentation=InstrumentationOptions.from_args(args),
+        backend=ExecutionBackend(jobs=args.jobs),
+        render=render,
+    )

@@ -1,0 +1,38 @@
+"""``repro privacy`` -- the §6.2 plaintext-exposure comparison."""
+
+from __future__ import annotations
+
+from repro.analysis import format_pct, render_table
+from repro.cli.args import (
+    add_crawl_pipeline_options,
+    add_dataset_options,
+)
+from repro.cli.invoke import crawl_pipeline
+
+
+def cmd_privacy(args) -> int:
+    from repro.core import compare_privacy
+
+    def render(outcome) -> None:
+        comparison = compare_privacy(outcome.result.successes)
+        medians = comparison.median_signals()
+        print(render_table(
+            "Privacy -- plaintext signals per page (paper §6.2)",
+            ["Client", "median DNS+SNI signals"],
+            [("measured (today)", f"{medians['measured']:.0f}"),
+             ("ideal ORIGIN client", f"{medians['ideal_origin']:.0f}")],
+        ))
+        print(f"\nsignal reduction "
+              f"{format_pct(comparison.signal_reduction())}; median "
+              f"hostnames hidden per page "
+              f"{comparison.median_hostnames_hidden():.0f}")
+
+    crawl_pipeline(args, "chromium", render=render).run()
+    return 0
+
+
+def register(sub) -> None:
+    privacy = sub.add_parser("privacy", help="§6.2 exposure analysis")
+    add_dataset_options(privacy)
+    add_crawl_pipeline_options(privacy)
+    privacy.set_defaults(func=cmd_privacy)

@@ -1,0 +1,135 @@
+"""``repro profile`` -- profile an in-process crawl and print a
+sorted hot-spot table."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.cli.args import (
+    POLICIES,
+    _parse_alpn,
+    _positive_int,
+    add_dataset_options,
+    add_ledger_options,
+)
+from repro.runtime import (
+    CrawlWorkload,
+    InstrumentationOptions,
+    ProfiledBackend,
+    export_trace,
+)
+from repro.runtime.console import diag as _diag
+from repro.runtime.sinks import LedgerSink
+
+
+def _short_func_name(func: tuple) -> str:
+    """``file:line(name)`` with the path shortened to the module-ish
+    tail, so the hot-spot table stays readable and stable across
+    checkouts."""
+    filename, line, name = func
+    if filename == "~":
+        return name  # C builtins print as plain names
+    marker = "/repro/"
+    index = filename.rfind(marker)
+    if index >= 0:
+        filename = "repro/" + filename[index + len(marker):]
+    else:
+        filename = filename.rsplit("/", 1)[-1]
+    return f"{filename}:{line}({name})"
+
+
+def cmd_profile(args) -> int:
+    """The crawl always runs with ``jobs=1``: cProfile only observes
+    the calling process, so worker fan-out would hide exactly the
+    code this command exists to expose.  Simulated work is
+    deterministic, which makes call counts exactly reproducible
+    run-to-run (timings naturally vary with the machine).
+    """
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import CrawlParams
+    from repro.telemetry.validation import validate_crawl_trace
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(policy=args.policy, speculative_rate=0.10,
+                         alpn=args.alpn)
+    workload = CrawlWorkload(config, params, shards=args.shards,
+                             no_cache=True, command="profile")
+    _diag(f"profile: crawling {config.site_count} sites over "
+          f"{workload.shard_count} shard(s) in-process (jobs=1; "
+          "cProfile cannot see worker processes)")
+
+    options = InstrumentationOptions.from_args(args)
+    rules = options.load_rules()
+    backend = ProfiledBackend()
+    outcome = workload.execute_profiled(backend, options)
+    result = outcome.result
+
+    stats = backend.stats()
+    elapsed = stats.total_tt
+    rate = result.attempted / elapsed if elapsed > 0 else 0.0
+    print(f"profiled {result.attempted} sites in {elapsed:.2f}s "
+          f"({rate:.2f} sites/sec under profiler overhead)")
+    print()
+
+    sort_index = 3 if args.sort == "cumulative" else 2
+    rows = sorted(
+        stats.stats.items(),
+        key=lambda item: item[1][sort_index],
+        reverse=True,
+    )[: args.top]
+    print(render_table(
+        f"Top {len(rows)} functions by {args.sort} time",
+        ["ncalls", "tottime (s)", "cumtime (s)", "function"],
+        [(
+            str(nc) if cc == nc else f"{nc}/{cc}",
+            f"{tt:.3f}",
+            f"{ct:.3f}",
+            _short_func_name(func),
+        ) for func, (cc, nc, tt, ct, _callers) in rows],
+    ))
+
+    if args.pstats:
+        stats.dump_stats(args.pstats)
+        _diag(f"pstats: raw profile -> {args.pstats} "
+              "(load with pstats.Stats or snakeviz)")
+
+    if options.want_trace:
+        problems = validate_crawl_trace(result, outcome.trace.spans)
+        if problems:
+            for problem in problems:
+                _diag(f"trace: INVALID: {problem}")
+            return 1
+        _diag(f"trace: {len(outcome.trace.spans)} spans validated "
+              f"against {result.attempted} archives")
+        export_trace(outcome.trace, args.trace, want_metrics=False)
+    if options.ledger_dir:
+        LedgerSink(options.ledger_dir, rules, workload)(outcome)
+    return 0
+
+
+def register(sub) -> None:
+    profile = sub.add_parser(
+        "profile",
+        help="profile an in-process crawl and print hot spots",
+    )
+    add_dataset_options(profile)
+    profile.add_argument("--policy", choices=sorted(POLICIES),
+                         default="chromium")
+    profile.add_argument("--shards", type=int, default=0,
+                         help="shard layout (default 0 = one shard per "
+                              "~100 sites)")
+    profile.add_argument("--alpn", type=_parse_alpn, default="h2",
+                         help="ALPN protocols the browser offers")
+    profile.add_argument("--sort", choices=("cumulative", "tottime"),
+                         default="cumulative",
+                         help="hot-spot sort key (default cumulative)")
+    profile.add_argument("--top", type=_positive_int, default=25,
+                         help="rows in the hot-spot table (default 25)")
+    profile.add_argument("--trace", metavar="OUT", default=None,
+                         help="also collect telemetry spans, validate "
+                              "them against the archives, and write "
+                              "OUT (Chrome trace_event JSON, or span "
+                              "JSONL when OUT ends in .jsonl)")
+    profile.add_argument("--pstats", metavar="OUT", default=None,
+                         help="dump the raw cProfile stats to OUT")
+    add_ledger_options(profile)
+    profile.set_defaults(func=cmd_profile)

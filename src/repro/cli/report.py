@@ -1,0 +1,109 @@
+"""``repro report`` / ``repro compare`` -- render and diff run-ledger
+records."""
+
+from __future__ import annotations
+
+from repro.obs.compare import (
+    ABS_FLOOR_MS as COMPARE_ABS_FLOOR_MS,
+    REL_FLOOR as COMPARE_REL_FLOOR,
+)
+from repro.runtime.console import diag as _diag
+
+
+def cmd_report(args) -> int:
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.report import render_report, slo_failures
+
+    try:
+        path = ledger_mod.resolve_record_path(args.run, args.ledger)
+        record = ledger_mod.load_record(path)
+    except ledger_mod.LedgerError as error:
+        _diag(f"report: {error}")
+        return 2
+    if args.slo:
+        from repro.obs.slo import SloError, evaluate_slos, load_slo
+
+        try:
+            rules = load_slo(args.slo)
+        except SloError as error:
+            _diag(f"report: {error}")
+            return 2
+        record.slo = evaluate_slos(rules, record.phases,
+                                   record.headline)
+    print(render_report(record, fmt=args.format), end="")
+    failing = slo_failures(record)
+    if failing:
+        _diag(f"slo: FAIL {', '.join(failing)}")
+        if args.check:
+            return 1
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.compare import compare_records, render_compare
+
+    try:
+        record_a = ledger_mod.load_record(
+            ledger_mod.resolve_record_path(args.a, args.ledger)
+        )
+        record_b = ledger_mod.load_record(
+            ledger_mod.resolve_record_path(args.b, args.ledger)
+        )
+    except ledger_mod.LedgerError as error:
+        _diag(f"compare: {error}")
+        return 2
+    result = compare_records(
+        record_a, record_b,
+        rel_floor=args.rel_floor, abs_floor_ms=args.abs_floor_ms,
+    )
+    _diag(f"compare: baseline {record_a.run_id}, "
+          f"candidate {record_b.run_id}")
+    print(render_compare(result, args.a, args.b,
+                         only_changed=args.only_changed), end="")
+    return result.exit_code
+
+
+def register(sub) -> None:
+    report = sub.add_parser(
+        "report",
+        help="render a run-ledger record as a dashboard",
+    )
+    report.add_argument("run",
+                        help="record path, or a run id resolved "
+                             "under --ledger")
+    report.add_argument("--ledger", metavar="DIR", default=None,
+                        help="ledger directory run ids resolve in")
+    report.add_argument("--format", choices=("ascii", "markdown"),
+                        default="ascii",
+                        help="ascii for terminals, markdown for CI "
+                             "artifacts (default ascii)")
+    report.add_argument("--slo", metavar="FILE", default=None,
+                        help="re-evaluate the gates in FILE against "
+                             "the record instead of showing the "
+                             "stored verdicts")
+    report.add_argument("--check", action="store_true",
+                        help="exit 1 when any SLO gate fails")
+    report.set_defaults(func=cmd_report)
+
+    compare = sub.add_parser(
+        "compare",
+        help="per-metric regression verdicts between two ledger "
+             "records (exit 0 clean / 1 regressed / 2 incomparable)",
+    )
+    compare.add_argument("a", help="baseline record (path or run id)")
+    compare.add_argument("b", help="candidate record (path or run id)")
+    compare.add_argument("--ledger", metavar="DIR", default=None,
+                         help="ledger directory run ids resolve in")
+    compare.add_argument("--rel-floor", type=float,
+                         default=COMPARE_REL_FLOOR, metavar="FRAC",
+                         help="relative noise floor on latency "
+                              "percentiles (default "
+                              f"{COMPARE_REL_FLOOR})")
+    compare.add_argument("--abs-floor-ms", type=float,
+                         default=COMPARE_ABS_FLOOR_MS, metavar="MS",
+                         help="absolute noise floor in ms (default "
+                              f"{COMPARE_ABS_FLOOR_MS})")
+    compare.add_argument("--only-changed", action="store_true",
+                         help="hide 'unchanged' rows from the table")
+    compare.set_defaults(func=cmd_compare)

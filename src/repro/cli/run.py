@@ -1,0 +1,51 @@
+"""``repro run`` -- execute a declarative scenario file.
+
+The scenario resolves to a sub-command argv (printed to stderr), so a
+scenario run is validated by the same argparse parsers and produces
+byte-identical artifacts to the equivalent hand-typed command line.
+"""
+
+from __future__ import annotations
+
+from repro.cli.args import _positive_int
+from repro.runtime.console import diag as _diag
+
+
+def cmd_run(args) -> int:
+    from repro.runtime.scenario import ScenarioError, load_scenario
+
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as error:
+        _diag(f"run: {error}")
+        return 2
+    argv = scenario.argv
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    _diag(f"run: {args.scenario} -> repro {' '.join(argv)}")
+    if args.dry_run:
+        return 0
+    from repro.cli import build_parser
+
+    namespace = build_parser().parse_args(argv)
+    return namespace.func(namespace)
+
+
+def register(sub) -> None:
+    run = sub.add_parser(
+        "run",
+        help="execute a declarative scenario file (TOML subset)",
+    )
+    run.add_argument("scenario",
+                     help="scenario file: a [run] section naming the "
+                          "command plus [dataset]/[traffic]/"
+                          "[instrumentation]/[sinks]/[render] "
+                          "sections of CLI flags")
+    run.add_argument("--jobs", type=_positive_int, default=None,
+                     help="worker processes (execution knob; "
+                          "overrides nothing in the scenario and "
+                          "never changes results)")
+    run.add_argument("--dry-run", action="store_true",
+                     help="print the resolved command line and exit "
+                          "without executing")
+    run.set_defaults(func=cmd_run)

@@ -25,6 +25,7 @@ from repro.dataset.crawler import Crawler, CrawlResult
 from repro.dataset.shard import (
     CrawlParams,
     ParallelCrawler,
+    ShardResult,
     ShardSpec,
     default_shard_count,
     derive_seed,
@@ -50,6 +51,7 @@ __all__ = [
     "CrawlResult",
     "CrawlParams",
     "ParallelCrawler",
+    "ShardResult",
     "ShardSpec",
     "default_shard_count",
     "derive_seed",

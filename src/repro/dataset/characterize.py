@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.render import format_pct, render_table
 from repro.web.har import HarArchive
 
 
@@ -263,6 +264,107 @@ def figure1(archives: Sequence[HarArchive]) -> Figure1Data:
         cumulative += histogram_counter[value] / total
         cdf.append((value, cumulative))
     return Figure1Data(as_counts=counts, histogram=histogram, cdf=cdf)
+
+
+# -- CLI table registry -------------------------------------------------------
+#
+# One rendered-string builder per paper table, keyed by the ``--tables``
+# token.  The CLI prints whatever these return; keeping the rendering
+# next to the data keeps the seven tables from drifting apart again.
+
+def _render_table1(result) -> str:
+    rows = table1(result.archives)
+    return render_table(
+        "Table 1 -- crawl summary",
+        ["Rank", "Attempted", "Success", "#Reqs", "PLT (ms)", "#DNS",
+         "#TLS"],
+        [(r.bucket_label, r.attempted, r.success,
+          f"{r.median_requests:.0f}", f"{r.median_plt_ms:.0f}",
+          f"{r.median_dns:.0f}", f"{r.median_tls:.0f}") for r in rows],
+    )
+
+
+def _render_table2(result) -> str:
+    return render_table(
+        "Table 2 -- top destination ASes",
+        ["ASN", "Org", "#Req", "%"],
+        [(asn, org, count, format_pct(share))
+         for asn, org, count, share in table2(result.successes)],
+    )
+
+
+def _render_table3(result) -> str:
+    protocols, _ = table3(result.successes)
+    total = sum(protocols.values())
+    return render_table(
+        "Table 3 -- protocols",
+        ["Protocol", "#Req", "%"],
+        [(name, count, format_pct(count / total))
+         for name, count in sorted(protocols.items(),
+                                   key=lambda kv: -kv[1])],
+    )
+
+
+def _render_table4(result) -> str:
+    rows, validations, total = table4(result.successes)
+    return render_table(
+        f"Table 4 -- certificate issuers ({validations} validations "
+        f"over {total} requests)",
+        ["Issuer", "#Validations", "%"],
+        [(issuer, count, format_pct(share))
+         for issuer, count, share in rows],
+    )
+
+
+def _render_table5(result) -> str:
+    return render_table(
+        "Table 5 -- content types",
+        ["Content type", "#Req", "%"],
+        [(content_type, count, format_pct(share))
+         for content_type, count, share in table5(result.successes)],
+    )
+
+
+def _render_table6(result) -> str:
+    rows = []
+    for (asn, org), breakdown in table6(result.successes).items():
+        for content_type, count, share in breakdown:
+            rows.append((asn, org, content_type, count,
+                         format_pct(share)))
+    return render_table(
+        "Table 6 -- content types per top AS",
+        ["ASN", "Org", "Content type", "#Req", "%"],
+        rows,
+    )
+
+
+def _render_table7(result) -> str:
+    return render_table(
+        "Table 7 -- top third-party hostnames",
+        ["Hostname", "#Req", "%"],
+        [(hostname, count, format_pct(share))
+         for hostname, count, share in table7(result.successes)],
+    )
+
+
+#: ``--tables`` tokens, in render order.
+CRAWL_TABLES: Dict[str, Callable[[object], str]] = {
+    "1": _render_table1,
+    "2": _render_table2,
+    "3": _render_table3,
+    "4": _render_table4,
+    "5": _render_table5,
+    "6": _render_table6,
+    "7": _render_table7,
+}
+
+DEFAULT_TABLES = "1,2,3"
+
+
+def render_crawl_table(token: str, result) -> str:
+    """Render one paper table (by ``--tables`` token) from a crawl
+    result (anything with ``.archives`` and ``.successes``)."""
+    return CRAWL_TABLES[token](result)
 
 
 # -- per-page measured distributions (feed Figure 3) -------------------------

@@ -153,6 +153,27 @@ def plan_shards(
 
 
 @dataclass(frozen=True)
+class ShardResult:
+    """One shard worker's bundled output, crawl and traffic alike.
+
+    ``payload`` is the workload's own merge unit (a
+    :class:`~repro.dataset.crawler.CrawlResult` for crawl shards, a
+    :class:`~repro.traffic.aggregate.TrafficAggregate` for traffic
+    shards); ``spans``/``metrics``/``events`` are the telemetry
+    bundle that :class:`~repro.telemetry.CrawlTrace` merges in shard
+    order.  ``extra`` carries worker-local state that never crosses a
+    process boundary (the traffic shard's
+    :class:`~repro.traffic.edge.EdgeLoadMonitor`).
+    """
+
+    payload: object
+    spans: Sequence[Span] = ()
+    metrics: Sequence[dict] = ()
+    events: Sequence[object] = ()
+    extra: object = None
+
+
+@dataclass(frozen=True)
 class CrawlParams:
     """Crawler knobs that shape results (and key the crawl cache)."""
 
@@ -191,12 +212,13 @@ def _crawl_shard_json(payload: Tuple[ShardSpec, CrawlParams]) -> List[str]:
 def crawl_shard_traced(
     spec: ShardSpec, params: CrawlParams,
     trace: bool = True, audit: bool = True,
-) -> Tuple[CrawlResult, List[Span], List[dict], list]:
+) -> ShardResult:
     """Crawl one shard with live telemetry.
 
-    Returns ``(result, spans, metrics snapshot, audit events)``; the
-    spans carry the shard's local ids and timestamps (its simulated
-    clock starts at zero) and are merged/renumbered by
+    Returns a :class:`ShardResult` whose payload is the shard's
+    :class:`~repro.dataset.crawler.CrawlResult`; the spans carry the
+    shard's local ids and timestamps (its simulated clock starts at
+    zero) and are merged/renumbered by
     :class:`~repro.telemetry.CrawlTrace` in shard order, as are the
     audit events.  ``trace``/``audit`` toggle the collectors
     independently; neither draws randomness nor schedules events, so
@@ -228,11 +250,11 @@ def crawl_shard_traced(
             shard_span, attempted=result.attempted,
             succeeded=result.success_count,
         )
-    return (
-        result,
-        telemetry.tracer.spans,
-        telemetry.metrics.snapshot(),
-        telemetry.audit.events,
+    return ShardResult(
+        payload=result,
+        spans=telemetry.tracer.spans,
+        metrics=telemetry.metrics.snapshot(),
+        events=telemetry.audit.events,
     )
 
 
@@ -241,14 +263,15 @@ def _crawl_shard_traced_json(
 ) -> Tuple[List[str], List[dict], List[dict], List[dict]]:
     """Picklable traced worker entry: everything as JSON-able docs."""
     spec, params, trace, audit = payload
-    result, spans, metrics, events = crawl_shard_traced(
+    shard_result = crawl_shard_traced(
         spec, params, trace=trace, audit=audit
     )
     return (
-        [archive.to_json() for archive in result.archives],
-        [span.to_dict() for span in spans],
-        metrics,
-        [event.to_dict() for event in events],
+        [archive.to_json()
+         for archive in shard_result.payload.archives],
+        [span.to_dict() for span in shard_result.spans],
+        shard_result.metrics,
+        [event.to_dict() for event in shard_result.events],
     )
 
 
@@ -341,13 +364,17 @@ class ParallelCrawler:
         crawl_trace = CrawlTrace()
         if self.jobs == 1 or total == 1:
             for done, spec in enumerate(self.shards, start=1):
-                result, spans, metrics, events = crawl_shard_traced(
+                shard_result = crawl_shard_traced(
                     spec, self.params, trace=trace, audit=audit
                 )
-                merged.archives.extend(result.archives)
-                crawl_trace.extend(spans, shard=spec.index)
-                crawl_trace.metrics.absorb(metrics)
-                crawl_trace.extend_audit(events, shard=spec.index)
+                merged.archives.extend(shard_result.payload.archives)
+                crawl_trace.extend(
+                    list(shard_result.spans), shard=spec.index
+                )
+                crawl_trace.metrics.absorb(shard_result.metrics)
+                crawl_trace.extend_audit(
+                    list(shard_result.events), shard=spec.index
+                )
                 if progress is not None:
                     progress(done, total)
                 if watch is not None:

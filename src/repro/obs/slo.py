@@ -20,11 +20,12 @@ An SLO file is a list of ``[[slo]]`` tables.  Two rule shapes exist:
       metric = "pages_failed"
       max = 0
 
-The parser is a deliberate TOML subset (table arrays, quoted strings,
-numbers, booleans, comments) implemented here so the gate file works
-on every supported Python -- ``tomllib`` only exists from 3.11 and
-this repo adds no dependencies.  Anything outside the subset is a
-loud :class:`SloError`, never a silent misread.
+The file format is the repo-wide TOML subset (table arrays, quoted
+strings, numbers, booleans, comments) parsed by
+:mod:`repro.obs.tomlsubset`, so the gate file works on every
+supported Python -- ``tomllib`` only exists from 3.11 and this repo
+adds no dependencies.  Anything outside the subset is a loud
+:class:`SloError`, never a silent misread.
 """
 
 from __future__ import annotations
@@ -33,6 +34,8 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tomlsubset import parse_toml_subset
 
 
 class SloError(ValueError):
@@ -92,36 +95,6 @@ _STRING_KEYS = {"name", "phase", "metric", "policy", "protocol",
                 "cohort"}
 
 
-def _strip_comment(line: str) -> str:
-    """Drop a trailing ``#`` comment that is not inside a string."""
-    in_string = False
-    for index, char in enumerate(line):
-        if char == '"':
-            in_string = not in_string
-        elif char == "#" and not in_string:
-            return line[:index]
-    return line
-
-
-def _parse_value(key: str, raw: str, where: str):
-    raw = raw.strip()
-    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
-        return raw[1:-1]
-    if raw in ("true", "false"):
-        return raw == "true"
-    try:
-        return int(raw)
-    except ValueError:
-        pass
-    try:
-        return float(raw)
-    except ValueError:
-        raise SloError(
-            f"{where}: value for {key!r} must be a quoted string, "
-            f"number, or boolean, got {raw!r}"
-        ) from None
-
-
 def _finish_rule(table: Dict[str, object], where: str) -> SloRule:
     unknown = set(table) - _RULE_KEYS
     if unknown:
@@ -178,34 +151,17 @@ def _finish_rule(table: Dict[str, object], where: str) -> SloRule:
 def parse_slo(text: str, source: str = "<slo>") -> List[SloRule]:
     """Parse an ``slo.toml`` into rules (see the module docstring for
     the accepted subset)."""
-    rules: List[SloRule] = []
-    table: Optional[Dict[str, object]] = None
-    for number, raw in enumerate(text.splitlines(), start=1):
-        line = _strip_comment(raw).strip()
-        where = f"{source}:{number}"
-        if not line:
-            continue
-        if line == "[[slo]]":
-            if table is not None:
-                rules.append(_finish_rule(table, where))
-            table = {}
-            continue
-        if line.startswith("["):
+    tables = parse_toml_subset(text, source=source, error=SloError)
+    for table in tables:
+        if table.name != "slo" or not table.array:
+            head = f"[[{table.name}]]" if table.array \
+                else f"[{table.name}]"
             raise SloError(
-                f"{where}: only [[slo]] tables are supported, "
-                f"got {line!r}"
+                f"{table.where}: only [[slo]] tables are supported, "
+                f"got {head!r}"
             )
-        if "=" not in line:
-            raise SloError(f"{where}: expected 'key = value'")
-        if table is None:
-            raise SloError(
-                f"{where}: key outside any [[slo]] table"
-            )
-        key, _, raw_value = line.partition("=")
-        key = key.strip()
-        table[key] = _parse_value(key, raw_value, where)
-    if table is not None:
-        rules.append(_finish_rule(table, f"{source}:EOF"))
+    rules = [_finish_rule(table.items, table.where)
+             for table in tables]
     names = [rule.name for rule in rules]
     duplicates = {name for name in names if names.count(name) > 1}
     if duplicates:

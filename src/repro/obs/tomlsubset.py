@@ -1,0 +1,115 @@
+"""A dependency-free TOML-subset parser shared by every declarative
+config file in the repo (``slo.toml`` gates, ``repro run`` scenario
+files).
+
+The subset is deliberate: plain tables (``[section]``), table arrays
+(``[[section]]``), and ``key = value`` pairs whose values are quoted
+strings, integers, floats, or booleans.  Comments (``#``) and blank
+lines are ignored.  Anything outside the subset raises the caller's
+error class loudly -- a gate or scenario file that cannot be parsed
+must never be silently misread.
+
+``tomllib`` only exists from Python 3.11 and this repo adds no
+dependencies, which is why the subset lives here (it predates this
+module inside :mod:`repro.obs.slo`; the scenario loader made it
+shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Type
+
+
+class TomlSubsetError(ValueError):
+    """The file is outside the supported TOML subset."""
+
+
+@dataclass
+class TomlTable:
+    """One parsed ``[name]`` or ``[[name]]`` table, in file order."""
+
+    name: str
+    #: True when declared as a table *array* member (``[[name]]``).
+    array: bool
+    #: ``source:line`` of the table header (error-message anchor).
+    where: str
+    items: Dict[str, object] = field(default_factory=dict)
+
+
+def strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment that is not inside a string."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def parse_value(key: str, raw: str, where: str,
+                error: Type[ValueError] = TomlSubsetError):
+    """One scalar: quoted string, boolean, int, or float."""
+    raw = raw.strip()
+    if raw.startswith('"') and raw.endswith('"') and len(raw) >= 2:
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise error(
+            f"{where}: value for {key!r} must be a quoted string, "
+            f"number, or boolean, got {raw!r}"
+        ) from None
+
+
+def _parse_header(line: str, where: str,
+                  error: Type[ValueError]) -> TomlTable:
+    array = line.startswith("[[")
+    closer = "]]" if array else "]"
+    if not line.endswith(closer):
+        raise error(f"{where}: malformed table header {line!r}")
+    name = line[2:-2].strip() if array else line[1:-1].strip()
+    if not name or "[" in name or "]" in name:
+        raise error(f"{where}: malformed table header {line!r}")
+    return TomlTable(name=name, array=array, where=where)
+
+
+def parse_toml_subset(
+    text: str,
+    source: str = "<toml>",
+    error: Type[ValueError] = TomlSubsetError,
+) -> List[TomlTable]:
+    """Parse ``text`` into tables, in file order.
+
+    Repeated ``[[name]]`` headers produce one table per occurrence;
+    repeated keys inside one table keep the last value (matching the
+    historical slo parser).  All violations raise ``error``.
+    """
+    tables: List[TomlTable] = []
+    current: TomlTable = None
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = strip_comment(raw).strip()
+        where = f"{source}:{number}"
+        if not line:
+            continue
+        if line.startswith("["):
+            current = _parse_header(line, where, error)
+            tables.append(current)
+            continue
+        if "=" not in line:
+            raise error(f"{where}: expected 'key = value'")
+        if current is None:
+            raise error(f"{where}: key outside any table")
+        key, _, raw_value = line.partition("=")
+        key = key.strip()
+        if not key:
+            raise error(f"{where}: expected 'key = value'")
+        current.items[key] = parse_value(key, raw_value, where, error)
+    return tables

@@ -1,0 +1,60 @@
+"""The unified run pipeline behind every simulation command.
+
+``repro.runtime`` composes a run from four declarative parts --
+
+* a **workload** (:class:`CrawlWorkload` / :class:`TrafficWorkload`):
+  the experiment definition and how to execute it,
+* :class:`InstrumentationOptions`: what to record (trace, metrics,
+  audit, ledger, SLO gates),
+* an **execution backend** (:class:`ExecutionBackend` /
+  :class:`ProfiledBackend`): how many workers, profiled or not,
+* ordered **sinks** (:mod:`repro.runtime.sinks`): where artifacts and
+  diagnostics go
+
+-- and :class:`RunPipeline` runs them.  The CLI modules under
+:mod:`repro.cli` only parse arguments and render output; scenario
+files (:mod:`repro.runtime.scenario`) drive the same pipeline
+declaratively via ``repro run``.
+"""
+
+from repro.runtime.backend import ExecutionBackend, ProfiledBackend
+from repro.runtime.console import diag, shard_progress
+from repro.runtime.instrument import (
+    counter_total,
+    export_trace,
+    finish_ledger,
+    ledger_watch,
+)
+from repro.runtime.options import InstrumentationOptions
+from repro.runtime.pipeline import RunPipeline
+from repro.runtime.scenario import (
+    Scenario,
+    ScenarioError,
+    load_scenario,
+    parse_scenario,
+)
+from repro.runtime.workloads import (
+    CrawlWorkload,
+    RunOutcome,
+    TrafficWorkload,
+)
+
+__all__ = [
+    "CrawlWorkload",
+    "ExecutionBackend",
+    "InstrumentationOptions",
+    "ProfiledBackend",
+    "RunOutcome",
+    "RunPipeline",
+    "Scenario",
+    "ScenarioError",
+    "TrafficWorkload",
+    "counter_total",
+    "diag",
+    "export_trace",
+    "finish_ledger",
+    "ledger_watch",
+    "load_scenario",
+    "parse_scenario",
+    "shard_progress",
+]

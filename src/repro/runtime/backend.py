@@ -1,0 +1,53 @@
+"""Execution backends: how shard work actually runs.
+
+The workload decides *what* to simulate; the backend decides *how
+many* worker processes execute it and whether the run is observed by
+a profiler.  Results never depend on the backend -- shard merging is
+order-preserving, so ``jobs=8`` is byte-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class ExecutionBackend:
+    """Plain serial-or-sharded execution with ``jobs`` workers."""
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = jobs
+
+    @contextmanager
+    def wrap(self):
+        """Context the workload's simulation runs inside (profiling
+        hooks live here; the base backend observes nothing)."""
+        yield None
+
+
+class ProfiledBackend(ExecutionBackend):
+    """In-process execution under ``cProfile``.
+
+    Always ``jobs=1``: cProfile only observes the calling process, so
+    worker fan-out would hide exactly the code a profile run exists
+    to expose.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(jobs=1)
+        import cProfile
+
+        self.profiler = cProfile.Profile()
+
+    @contextmanager
+    def wrap(self):
+        self.profiler.enable()
+        try:
+            yield self.profiler
+        finally:
+            self.profiler.disable()
+
+    def stats(self):
+        """The collected ``pstats.Stats`` (after :meth:`wrap` exits)."""
+        import pstats
+
+        return pstats.Stats(self.profiler)

@@ -1,0 +1,58 @@
+"""The unified run pipeline.
+
+Every simulation command is the same five stages:
+
+1. **configure** -- the workload fixes the experiment definition
+   (dataset/scenario config + shard layout) and its fingerprint;
+2. **gates** -- SLO rules load up front, so a malformed gate file
+   aborts before any simulation (exit 2);
+3. **execute** -- the workload runs on the execution backend, live
+   (instrumented, cache-bypassing) or cached;
+4. **sink** -- the ordered sink list persists artifacts and prints
+   diagnostics;
+5. **render** -- the command's stdout tables run as the final (or,
+   for traffic, mid-order) sink.
+
+The pipeline itself is workload-agnostic; byte-identity across
+``--jobs`` comes from the workloads' order-preserving shard merges,
+and output-identity with the legacy CLI comes from the workloads'
+sink ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.options import InstrumentationOptions
+from repro.runtime.workloads import RunOutcome
+
+
+class RunPipeline:
+    """Compose workload + instrumentation + backend (+ render)."""
+
+    def __init__(self, workload,
+                 instrumentation: Optional[InstrumentationOptions]
+                 = None,
+                 backend: Optional[ExecutionBackend] = None,
+                 render: Optional[Callable[[RunOutcome], None]]
+                 = None) -> None:
+        self.workload = workload
+        self.instrumentation = (instrumentation
+                                or InstrumentationOptions())
+        self.backend = backend or ExecutionBackend()
+        self.render = render
+
+    def run(self) -> RunOutcome:
+        options = self.instrumentation
+        rules = options.load_rules()
+        live = bool(self.workload.always_live or options.live)
+        if live:
+            outcome = self.workload.execute_live(
+                self.backend, options, rules)
+        else:
+            outcome = self.workload.execute_cached(self.backend)
+        for sink in self.workload.sinks(options, rules, live=live,
+                                        render=self.render):
+            sink(outcome)
+        return outcome

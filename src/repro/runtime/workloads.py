@@ -1,0 +1,243 @@
+"""Workloads: what a pipeline run simulates.
+
+A workload owns the experiment definition (config + shard layout --
+the part that keys caches and run fingerprints), knows how to execute
+itself on an :class:`~repro.runtime.backend.ExecutionBackend`, and
+assembles the ordered sink list for its outcome.  Two workloads cover
+every pipeline command:
+
+* :class:`CrawlWorkload` -- the shared crawl behind ``crawl``,
+  ``model``, ``privacy``, ``explain``, and ``profile``; cached unless
+  instrumentation forces the live path.
+* :class:`TrafficWorkload` -- the population-scale traffic
+  simulation behind ``traffic``; always live (no cache exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.runtime.console import shard_progress
+from repro.runtime.instrument import ledger_watch
+from repro.runtime.sinks import (
+    AggregateSink,
+    AuditSink,
+    CacheStatusSink,
+    CacheStoreSink,
+    LedgerSink,
+    RenderSink,
+    TraceSink,
+)
+
+
+@dataclass
+class RunOutcome:
+    """What a workload execution produced.
+
+    ``trace`` is the merged :class:`~repro.telemetry.CrawlTrace` when
+    the run was live (instrumented) and ``None`` on the cached path.
+    """
+
+    config: object
+    shard_count: int
+    result: object
+    trace: object = None
+    cache_hit: bool = False
+    fingerprint: str = ""
+    extras: dict = field(default_factory=dict)
+
+
+class CrawlWorkload:
+    """The shared crawl pipeline: shards + cache + telemetry."""
+
+    unit = "pages"
+    always_live = False
+
+    def __init__(self, config, params, shards: int = 0,
+                 cache_dir=None, no_cache: bool = False,
+                 refresh: bool = False, command: str = "crawl") -> None:
+        from repro.dataset.cache import CrawlCache
+        from repro.dataset.shard import plan_shards
+
+        self.config = config
+        self.params = params
+        self.shard_count = len(plan_shards(config, shards or None))
+        self.cache = None if no_cache else CrawlCache(cache_dir)
+        self.refresh = refresh
+        self.command = command
+
+    def fingerprint(self) -> str:
+        """The content-addressed cache key doubles as the run
+        fingerprint (config + params + shard layout)."""
+        from repro.dataset.cache import cache_key
+
+        return cache_key(self.config, self.params, self.shard_count)
+
+    def _crawler(self, jobs: int):
+        from repro.dataset.shard import ParallelCrawler
+
+        return ParallelCrawler(
+            self.config, params=self.params,
+            shard_count=self.shard_count, jobs=jobs,
+        )
+
+    def execute_live(self, backend, options, rules) -> RunOutcome:
+        """Instrumented crawl: heartbeat + spans/audit/metrics.
+
+        Bypasses cache reads -- a cache hit would skip the simulation
+        and produce no spans, audit events, or phase histograms.
+        """
+        from repro.obs.heartbeat import Heartbeat
+
+        crawler = self._crawler(backend.jobs)
+        hb = Heartbeat()
+        try:
+            with backend.wrap():
+                result, trace = crawler.crawl_traced(
+                    progress=None if hb.enabled else shard_progress,
+                    trace=options.want_trace,
+                    audit=options.want_audit,
+                    watch=ledger_watch(hb, rules, unit=self.unit),
+                )
+        finally:
+            hb.close()
+        return RunOutcome(
+            config=self.config, shard_count=self.shard_count,
+            result=result, trace=trace,
+            fingerprint=self.fingerprint(),
+        )
+
+    def execute_cached(self, backend) -> RunOutcome:
+        from repro.dataset.cache import crawl_cached
+
+        result, hit = crawl_cached(
+            self.config,
+            params=self.params,
+            shard_count=self.shard_count,
+            jobs=backend.jobs,
+            cache=self.cache,
+            refresh=self.refresh,
+            progress=shard_progress,
+        )
+        return RunOutcome(
+            config=self.config, shard_count=self.shard_count,
+            result=result, trace=None, cache_hit=hit,
+            fingerprint=self.fingerprint(),
+        )
+
+    def execute_profiled(self, backend, options) -> RunOutcome:
+        """In-process crawl for ``profile``: no heartbeat, no cache,
+        traced only when a span artifact or ledger record needs the
+        telemetry registry."""
+        crawler = self._crawler(backend.jobs)
+        with backend.wrap():
+            if options.want_trace or options.ledger_dir:
+                result, trace = crawler.crawl_traced(
+                    trace=options.want_trace, audit=False
+                )
+            else:
+                result, trace = crawler.crawl(), None
+        return RunOutcome(
+            config=self.config, shard_count=self.shard_count,
+            result=result, trace=trace,
+            fingerprint=self.fingerprint(),
+        )
+
+    def build_record(self, outcome, rules):
+        from repro.obs.ledger import build_crawl_record
+
+        return build_crawl_record(
+            self.command, self.config, self.params,
+            self.shard_count, outcome.result,
+            outcome.trace.metrics, slo_rules=rules,
+        )
+
+    def sinks(self, options, rules, live: bool,
+              render=None) -> List[object]:
+        """Ordered sinks (the legacy diag/stdout interleaving):
+        cache, trace+metrics, audit, ledger, then the command's
+        rendering."""
+        sinks: List[object] = []
+        if live:
+            sinks.append(CacheStoreSink(self.cache))
+            sinks.append(TraceSink(options))
+            if options.audit_out:
+                sinks.append(AuditSink(options.audit_out))
+            if options.ledger_dir:
+                sinks.append(
+                    LedgerSink(options.ledger_dir, rules, self))
+        else:
+            sinks.append(CacheStatusSink(self.cache))
+        if render is not None:
+            sinks.append(RenderSink(render))
+        return sinks
+
+
+class TrafficWorkload:
+    """Population-scale traffic simulation with edge load
+    accounting.  Always live; the aggregate is the result."""
+
+    unit = "visits"
+    always_live = True
+
+    def __init__(self, scenario, shards: int = 0,
+                 scenario_name: str = "baseline",
+                 aggregate_out: Optional[str] = None) -> None:
+        self.scenario = scenario
+        self.shards = shards or None
+        self.scenario_name = scenario_name
+        self.aggregate_out = aggregate_out
+
+    def planned_shards(self) -> int:
+        from repro.traffic.scenario import plan_user_shards
+
+        return len(plan_user_shards(self.scenario, self.shards))
+
+    def execute_live(self, backend, options, rules) -> RunOutcome:
+        from repro.obs.heartbeat import Heartbeat
+        from repro.traffic import run_scenario
+
+        hb = Heartbeat()
+        try:
+            with backend.wrap():
+                aggregate, trace = run_scenario(
+                    self.scenario, shard_count=self.shards,
+                    jobs=backend.jobs,
+                    audit=options.want_audit,
+                    trace=options.want_trace,
+                    progress=None if hb.enabled else shard_progress,
+                    watch=ledger_watch(hb, rules, unit=self.unit),
+                )
+        finally:
+            hb.close()
+        return RunOutcome(
+            config=self.scenario,
+            shard_count=self.planned_shards(),
+            result=aggregate, trace=trace,
+        )
+
+    def build_record(self, outcome, rules):
+        from repro.obs.ledger import build_traffic_record
+
+        return build_traffic_record(
+            self.scenario, outcome.shard_count, outcome.result,
+            outcome.trace.metrics, slo_rules=rules,
+            scenario_name=self.scenario_name,
+        )
+
+    def sinks(self, options, rules, live: bool,
+              render=None) -> List[object]:
+        """Ordered sinks: trace+metrics, *then* the stdout summary
+        and tables, then aggregate/audit/ledger artifacts -- the
+        exact interleaving the traffic command always printed."""
+        sinks: List[object] = [TraceSink(options)]
+        if render is not None:
+            sinks.append(RenderSink(render))
+        if self.aggregate_out:
+            sinks.append(AggregateSink(self.aggregate_out))
+        if options.audit_out:
+            sinks.append(AuditSink(options.audit_out))
+        if options.ledger_dir:
+            sinks.append(LedgerSink(options.ledger_dir, rules, self))
+        return sinks

@@ -20,6 +20,7 @@ how much of that load connection coalescing removes.
   baseline / ORIGIN / ideal-SAN what-if sweep.
 """
 
+from repro.dataset.shard import ShardResult  # noqa: F401
 from repro.traffic.aggregate import (  # noqa: F401
     CohortTally,
     LoadCounters,
@@ -63,6 +64,7 @@ __all__ = [
     "LoadCounters",
     "ORIGIN_COHORTS",
     "ScenarioConfig",
+    "ShardResult",
     "TrafficAggregate",
     "UserProfile",
     "UserShard",

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.audit.log import AuditEvent
 from repro.browser import BrowserContext, BrowserEngine
 from repro.browser.policy import policy_by_name
-from repro.dataset.shard import _mp_context
+from repro.dataset.shard import ShardResult, _mp_context
 from repro.dataset.world import CDN_REGION, TAIL_REGION, build_world
 from repro.deployment.experiment import deployment_world_config
 from repro.netsim import Host, LinkSpec
@@ -206,16 +206,17 @@ def _user_engine(
 
 def simulate_shard(
     shard: UserShard, audit: bool = True, trace: bool = False,
-) -> Tuple[TrafficAggregate, List[AuditEvent], List[Span], List[dict],
-           EdgeLoadMonitor]:
+) -> ShardResult:
     """Simulate one user-population shard.
 
-    Returns the shard's aggregate, its audit events (empty when
-    ``audit`` is off; decisions are still audited internally so retry
-    accounting never depends on the flag), its spans (empty unless
-    ``trace``), its metrics snapshot (phase histograms and any traced
-    counters), and the edge monitor (whose sampled passive records are
-    useful in-process; they are not merged across worker boundaries).
+    Returns a :class:`~repro.dataset.shard.ShardResult` whose payload
+    is the shard's :class:`TrafficAggregate`, bundled with its audit
+    events (empty when ``audit`` is off; decisions are still audited
+    internally so retry accounting never depends on the flag), its
+    spans (empty unless ``trace``), and its metrics snapshot (phase
+    histograms and any traced counters).  ``extra`` is the edge
+    monitor, whose sampled passive records are useful in-process; they
+    are not merged across worker boundaries.
     """
     scenario = shard.scenario
     world = _build_traffic_world(scenario)
@@ -302,12 +303,12 @@ def simulate_shard(
     # Per-edge peaks sum replica-style in ``merge``; the fleet total is
     # the true all-edge gauge peak, not the sum of per-edge peaks.
     aggregate.totals.peak_concurrent = monitor.peak_connections
-    return (
-        aggregate,
-        (events if audit else []),
-        (telemetry.tracer.spans if trace else []),
-        telemetry.metrics.snapshot(),
-        monitor,
+    return ShardResult(
+        payload=aggregate,
+        spans=(telemetry.tracer.spans if trace else []),
+        metrics=telemetry.metrics.snapshot(),
+        events=(events if audit else []),
+        extra=monitor,
     )
 
 
@@ -316,14 +317,12 @@ def _simulate_shard_json(
 ) -> Tuple[dict, List[dict], List[dict], List[dict]]:
     """Picklable worker entry point: everything as JSON-able docs."""
     shard, audit, trace = payload
-    aggregate, events, spans, metrics, _ = simulate_shard(
-        shard, audit=audit, trace=trace
-    )
+    shard_result = simulate_shard(shard, audit=audit, trace=trace)
     return (
-        aggregate.to_dict(),
-        [event.to_dict() for event in events],
-        [span.to_dict() for span in spans],
-        metrics,
+        shard_result.payload.to_dict(),
+        [event.to_dict() for event in shard_result.events],
+        [span.to_dict() for span in shard_result.spans],
+        shard_result.metrics,
     )
 
 

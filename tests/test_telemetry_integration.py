@@ -64,7 +64,8 @@ class TestTracedCrawl:
 
     def test_single_shard_traced_matches_untraced(self):
         spec = plan_shards(CONFIG, 2)[0]
-        traced_result, spans, _, _ = crawl_shard_traced(spec, PARAMS)
+        shard_result = crawl_shard_traced(spec, PARAMS)
+        traced_result, spans = shard_result.payload, shard_result.spans
         plain = crawl_shard(spec, PARAMS)
         assert [a.to_json() for a in traced_result.archives] \
             == [a.to_json() for a in plain.archives]

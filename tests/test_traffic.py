@@ -187,7 +187,10 @@ class TestFleetOriginDeployment:
 class TestSimulateShard:
     def test_counters_and_audit_reconcile(self):
         shard = plan_user_shards(tiny_scenario(), 1)[0]
-        aggregate, events, _, _, monitor = simulate_shard(shard)
+        shard_result = simulate_shard(shard)
+        aggregate = shard_result.payload
+        events = shard_result.events
+        monitor = shard_result.extra
         assert aggregate.visits > 0
         assert aggregate.completed > 0
         assert aggregate.totals.connections > 0
@@ -207,7 +210,7 @@ class TestSimulateShard:
         shard = plan_user_shards(
             tiny_scenario(users=16, mean_visits_per_user=3.0), 1,
         )[0]
-        aggregate, _, _, _, _ = simulate_shard(shard, audit=False)
+        aggregate = simulate_shard(shard, audit=False).payload
         revisits = sum(t.revisits for t in aggregate.cohorts.values())
         cached = sum(
             t.cached_responses for t in aggregate.cohorts.values()
@@ -220,7 +223,9 @@ class TestSimulateShard:
         shard = plan_user_shards(
             tiny_scenario(users=16, edge_capacity=2), 1,
         )[0]
-        aggregate, events, _, _, _ = simulate_shard(shard)
+        shard_result = simulate_shard(shard)
+        aggregate = shard_result.payload
+        events = shard_result.events
         assert aggregate.totals.goaways > 0
         assert aggregate.retries > 0
         reasons = {event.reason for event in events}
@@ -232,7 +237,7 @@ class TestSimulateShard:
             tiny_scenario(users=16, edge_capacity=2,
                           goaway_retry_limit=0), 1,
         )[0]
-        aggregate, _, _, _, _ = simulate_shard(shard, audit=False)
+        aggregate = simulate_shard(shard, audit=False).payload
         assert aggregate.totals.goaways > 0
         assert aggregate.retries == 0
         assert aggregate.failed > 0  # refused loads fail, not crash
