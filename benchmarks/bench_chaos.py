@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Chaos-run benchmark: injector overhead + jobs determinism.
+
+Crawls the same sharded world three ways -- plain, under an *empty*
+fault schedule (the armed-but-idle injector), and under the demo
+fault schedule with retries on -- and reports sites/sec for each, so
+the cost of the chaos machinery has a trend line.  The empty-schedule
+run must stay byte-identical to the plain crawl (archives and audit),
+and the faulted run must be byte-identical at jobs=1 vs jobs=N; both
+checks ARE hard failures here, same as bench_traffic's identity
+check::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py \
+        --sites 40 --shards 2 --jobs 2 --output BENCH_chaos.json
+
+``scripts/bench.sh`` runs this as an informational stage -- the chaos
+runner rides the same crawl hot paths the crawl gate already
+protects, so there is no second throughput gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import sys
+import time
+from pathlib import Path
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel run")
+    parser.add_argument("--schedule", default="examples/faults_demo.toml")
+    parser.add_argument("--output", default="BENCH_chaos.json")
+    parser.add_argument("--skip-verify", action="store_true",
+                        help="skip the byte-identity checks")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+
+    from repro.audit.log import events_to_jsonl
+    from repro.chaos import (
+        DEFAULT_RETRY_POLICY,
+        EMPTY_SCHEDULE,
+        ChaosRunner,
+        load_fault_schedule,
+    )
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import CrawlParams, ParallelCrawler
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(policy="chromium", speculative_rate=0.10,
+                         dns_latency_ms=48.0, seed=7, alpn="h2")
+    schedule = load_fault_schedule(args.schedule)
+
+    print(f"bench_chaos: {args.sites} sites, {args.shards} shards, "
+          f"schedule={args.schedule}, "
+          f"cpu_count={multiprocessing.cpu_count()}")
+
+    def timed(label, run):
+        started = time.perf_counter()
+        out = run()
+        elapsed = time.perf_counter() - started
+        rate = args.sites / elapsed
+        print(f"  {label}: {elapsed:.2f}s  ({rate:.2f} sites/sec)")
+        return out, elapsed, rate
+
+    plain_crawler = ParallelCrawler(config, params=params,
+                                    shard_count=args.shards, jobs=1)
+    (p_result, p_trace), plain_s, plain_rate = timed(
+        "plain crawl        ",
+        lambda: plain_crawler.crawl_traced(audit=True),
+    )
+
+    empty_runner = ChaosRunner(config, params=params,
+                               schedule=EMPTY_SCHEDULE,
+                               retry_policy=DEFAULT_RETRY_POLICY,
+                               shard_count=args.shards, jobs=1)
+    (e_result, e_trace, _), empty_s, empty_rate = timed(
+        "empty schedule     ", empty_runner.run,
+    )
+
+    def chaos_run(jobs):
+        runner = ChaosRunner(config, params=params, schedule=schedule,
+                             retry_policy=DEFAULT_RETRY_POLICY,
+                             shard_count=args.shards, jobs=jobs)
+        return runner.run()
+
+    (f_result, f_trace, report), fault_s, fault_rate = timed(
+        "demo schedule      ", lambda: chaos_run(1),
+    )
+    parallel_informational = multiprocessing.cpu_count() < 2
+    (j_result, j_trace, j_report), par_s, par_rate = timed(
+        f"demo schedule j={args.jobs} ", lambda: chaos_run(args.jobs),
+    )
+
+    identical = None
+    if not args.skip_verify:
+        empty_identical = (
+            [a.to_json() for a in p_result.archives]
+            == [a.to_json() for a in e_result.archives]
+            and events_to_jsonl(p_trace.audit)
+            == events_to_jsonl(e_trace.audit)
+        )
+        jobs_identical = (
+            report.to_jsonl() == j_report.to_jsonl()
+            and events_to_jsonl(f_trace.audit)
+            == events_to_jsonl(j_trace.audit)
+        )
+        identical = empty_identical and jobs_identical
+        print(f"  empty schedule identical to plain: {empty_identical}")
+        print(f"  report + audit identical across jobs: {jobs_identical}")
+        if not identical:
+            print("bench_chaos: FAIL -- determinism invariant broken",
+                  file=sys.stderr)
+            return 1
+
+    print(f"  idle injector runs at {empty_rate / plain_rate:.2f}x plain "
+          f"throughput; faulted run at {fault_rate / plain_rate:.2f}x "
+          f"({report.connections_lost} connections lost, "
+          f"{report.requests_retried} retries)")
+
+    document = {
+        "sites": args.sites,
+        "seed": args.seed,
+        "shards": args.shards,
+        "jobs": args.jobs,
+        "schedule": args.schedule,
+        "cpu_count": multiprocessing.cpu_count(),
+        "python": platform.python_version(),
+        "identical": identical,
+        "connections_lost": report.connections_lost,
+        "requests_retried": report.requests_retried,
+        "mean_blast_radius": round(report.mean_blast_radius, 3),
+        "plain": {
+            "seconds": round(plain_s, 3),
+            "sites_per_sec": round(plain_rate, 3),
+        },
+        "empty_schedule": {
+            "seconds": round(empty_s, 3),
+            "sites_per_sec": round(empty_rate, 3),
+            "overhead_vs_plain": round(plain_rate / empty_rate, 3)
+            if empty_rate else None,
+        },
+        "faulted": {
+            "seconds": round(fault_s, 3),
+            "sites_per_sec": round(fault_rate, 3),
+            "overhead_vs_plain": round(plain_rate / fault_rate, 3)
+            if fault_rate else None,
+        },
+        "faulted_parallel": {
+            "seconds": round(par_s, 3),
+            "sites_per_sec": round(par_rate, 3),
+            "informational": parallel_informational,
+        },
+        "speedup": round(fault_s / par_s, 3) if par_s else None,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(document, indent=2) + "\n",
+                      encoding="utf-8")
+    print(f"  wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

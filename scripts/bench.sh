@@ -171,6 +171,23 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_traffic.py \
     --output "$TRAFFIC_CURRENT"
 echo "bench.sh: traffic stage informational (identity check gated above)"
 
+# Chaos benchmark: informational only, same rationale as traffic --
+# the chaos runner rides the crawl hot paths the crawl gate protects.
+# Reports the idle-injector and faulted-run overhead vs a plain crawl;
+# the empty-schedule == plain and jobs=1 == jobs=N byte-identity
+# checks inside bench_chaos.py ARE hard failures.
+CHAOS_SITES="${REPRO_BENCH_CHAOS_SITES:-20}"
+if [ -n "${REPRO_BENCH_OUT_DIR:-}" ]; then
+    CHAOS_CURRENT="$REPRO_BENCH_OUT_DIR/bench_chaos.json"
+else
+    CHAOS_CURRENT="$(mktemp /tmp/bench_chaos.XXXXXX.json)"
+    trap 'rm -f "$CURRENT" "$MICRO_CURRENT" "$TRAFFIC_CURRENT" "$CHAOS_CURRENT"' EXIT
+fi
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python benchmarks/bench_chaos.py \
+    --sites "$CHAOS_SITES" --shards 2 --jobs "$JOBS" \
+    --output "$CHAOS_CURRENT"
+echo "bench.sh: chaos stage informational (identity checks gated above)"
+
 # Run-ledger regression compare: informational trend watch.  Run
 # records hold only simulated-clock latencies, so the committed
 # BENCH_ledger.jsonl baseline is machine-independent -- any drift
@@ -182,7 +199,7 @@ if [ -n "${REPRO_BENCH_OUT_DIR:-}" ]; then
     LEDGER_DIR="$REPRO_BENCH_OUT_DIR/ledger"
 else
     LEDGER_DIR="$(mktemp -d /tmp/bench_ledger.XXXXXX)"
-    trap 'rm -f "$CURRENT" "$MICRO_CURRENT" "$TRAFFIC_CURRENT"; rm -rf "$LEDGER_DIR"' EXIT
+    trap 'rm -f "$CURRENT" "$MICRO_CURRENT" "$TRAFFIC_CURRENT" "$CHAOS_CURRENT"; rm -rf "$LEDGER_DIR"' EXIT
 fi
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m repro crawl \
     --sites 60 --seed 2022 --shards 2 --no-cache --tables 1 \

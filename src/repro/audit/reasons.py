@@ -86,6 +86,13 @@ class ReasonCode(str, Enum):
     # -- middlebox interference (§6.7) ------------------------------------
     MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME = "MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME"
 
+    # -- chaos: injected faults and the unified retry path -----------------
+    FAULT_INJECTED = "FAULT_INJECTED"
+    CONN_LOST_COALESCED = "CONN_LOST_COALESCED"
+    RETRY_BACKOFF = "RETRY_BACKOFF"
+    RETRY_EXHAUSTED = "RETRY_EXHAUSTED"
+    STALE_DNS_SERVED = "STALE_DNS_SERVED"
+
     @property
     def is_hit(self) -> bool:
         """The request reused an existing connection (or the cache)."""
@@ -236,6 +243,20 @@ REASON_DESCRIPTIONS: Dict[ReasonCode, str] = {
     ReasonCode.MIDDLEBOX_TEARDOWN_UNKNOWN_FRAME:
         "non-compliant middlebox tore the connection down on an "
         "unknown frame type (§6.7)",
+    ReasonCode.FAULT_INJECTED:
+        "a scheduled fault from the chaos FaultSchedule fired",
+    ReasonCode.CONN_LOST_COALESCED:
+        "an injected fault killed a connection that was carrying "
+        "more than one hostname (coalescing blast radius)",
+    ReasonCode.RETRY_BACKOFF:
+        "request lost its connection to an injected fault and was "
+        "re-dialed after deterministic jittered backoff",
+    ReasonCode.RETRY_EXHAUSTED:
+        "request kept losing connections until the retry budget ran "
+        "out; surfaced as a failed request",
+    ReasonCode.STALE_DNS_SERVED:
+        "resolver served an expired cache entry because the "
+        "authoritative path was faulted (stale-answer fallback)",
 }
 
 

@@ -22,6 +22,7 @@ from repro.obs.phases import NULL_PHASES
 from repro.browser.cache import BrowserCache
 from repro.browser.policy import CoalescingPolicy, ConnectionFacts
 from repro.browser.pool import ConnectionPool
+from repro.browser.retry import RetryPolicy
 from repro.dnssim.resolver import CachingResolver
 from repro.netsim.network import Host, Network
 from repro.telemetry import NULL_TRACER, Telemetry
@@ -84,6 +85,23 @@ class BrowserContext:
     #: Base backoff before an overload retry; attempt ``n`` waits
     #: ``n * backoff`` so repeated refusals spread out.
     goaway_retry_backoff_ms: float = 120.0
+    #: The unified retry policy.  ``None`` derives one from the two
+    #: legacy GOAWAY fields above (linear backoff, no jitter, no
+    #: connection-loss retries), so existing configurations keep
+    #: their exact behaviour through the single retry code path.
+    retry_policy: Optional[RetryPolicy] = None
+    #: Dedicated generator for retry jitter draws.  Kept separate
+    #: from :attr:`rng` so enabling jittered retries never perturbs
+    #: the TLS-version / speculative-connection decision stream.
+    retry_rng: Optional[np.random.Generator] = None
+
+    @property
+    def effective_retry_policy(self) -> RetryPolicy:
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy.legacy_goaway(
+            self.goaway_retry_limit, self.goaway_retry_backoff_ms
+        )
 
     @property
     def tracer(self):
@@ -140,6 +158,12 @@ class _FetchState:
         #: True once a final HAR entry was recorded for this fetch.
         self.settled = False
         self.goaway_retries = 0
+        #: Connection-loss retries (chaos class); counted separately
+        #: from overload retries, as the legacy GOAWAY path did.
+        self.loss_retries = 0
+        #: When this fetch first lost a connection; the recovery
+        #: histogram measures success time from here.
+        self.first_loss_at: Optional[float] = None
         self.facts: Optional[ConnectionFacts] = None
         self.span = None
         #: Why the request was served the way it was; set at each
@@ -452,48 +476,68 @@ class PageLoad:
         self, state: _FetchState, attempt: int, reason: str
     ) -> None:
         """A connection this fetch was riding failed before its
-        response: retry overload GOAWAYs (budget permitting), record
-        everything else as a failed request."""
+        response: retry per the unified policy (overload GOAWAYs, and
+        connection loss when the policy opts in), record everything
+        else as a failed request."""
         if state.settled or state.attempt != attempt:
             return
-        if (
-            reason.startswith("GOAWAY: ENHANCE_YOUR_CALM")
-            and state.goaway_retries < self.context.goaway_retry_limit
-        ):
-            self._retry_after_goaway(state)
+        overload = reason.startswith("GOAWAY: ENHANCE_YOUR_CALM")
+        if self._maybe_retry(state, overload=overload):
             return
         self._record_failure(state, reason)
 
-    def _maybe_retry_goaway(self, state: _FetchState) -> bool:
-        """Status-0 response path of an overload refusal: the server
-        closed the transport right after its GOAWAY, so the pending
-        request surfaces as a dead response before (or instead of) the
-        session-failure callback."""
+    def _maybe_retry_dead(self, state: _FetchState) -> bool:
+        """Status-0 response path: the transport died under an issued
+        request.  An overload refusal closes the transport right after
+        its GOAWAY, so the pending request surfaces as a dead response
+        before (or instead of) the session-failure callback; a
+        mid-flight teardown (injected fault, on-path RST) leaves
+        ``failed`` unset but the session closed."""
         session = state.facts.session if state.facts else None
+        if session is None:
+            return False
         failure = getattr(session, "failed", None) or ""
-        if not failure.startswith("GOAWAY: ENHANCE_YOUR_CALM"):
-            return False
-        if state.goaway_retries >= self.context.goaway_retry_limit:
-            return False
-        self._retry_after_goaway(state)
-        return True
+        if failure.startswith("GOAWAY: ENHANCE_YOUR_CALM"):
+            return self._maybe_retry(state, overload=True)
+        if failure or session.closed:
+            return self._maybe_retry(state, overload=False)
+        return False
 
-    def _retry_after_goaway(self, state: _FetchState) -> None:
-        state.goaway_retries += 1
+    def _maybe_retry(self, state: _FetchState, overload: bool) -> bool:
+        """The single retry decision point for both failure classes."""
+        policy = self.context.effective_retry_policy
+        if overload:
+            if not policy.allows(state.goaway_retries + 1):
+                return False
+            state.goaway_retries += 1
+            attempt = state.goaway_retries
+            reason = ReasonCode.MISS_RETRY_AFTER_GOAWAY
+        else:
+            if not policy.retry_connection_loss:
+                return False
+            now = self.loop.now()
+            if state.first_loss_at is None:
+                state.first_loss_at = now
+            if not policy.allows(state.loss_retries + 1) or \
+                    not policy.within_budget(now - state.started_at):
+                self._note_retry_exhausted(state)
+                return False
+            state.loss_retries += 1
+            attempt = state.loss_retries
+            reason = ReasonCode.RETRY_BACKOFF
         state.attempt += 1  # invalidate the dead attempt's callbacks
         state.coalesced = False
-        state.reason = ReasonCode.MISS_RETRY_AFTER_GOAWAY
+        state.reason = reason
         audit = self.context.audit
         if audit.enabled:
             audit.record(
-                "retry", ReasonCode.MISS_RETRY_AFTER_GOAWAY,
+                "retry", reason,
                 page=self.page.url, hostname=state.hostname,
                 path=state.path, decision="retry",
-                attempt=state.goaway_retries,
+                attempt=attempt,
             )
-        backoff = (
-            self.context.goaway_retry_backoff_ms * state.goaway_retries
-        )
+        backoff = policy.backoff_ms(attempt,
+                                    rng=self.context.retry_rng)
         # Re-dial via DNS (warm cache on a retry): a fetch refused
         # while riding a pooled connection never resolved for itself,
         # and a fresh lookup lets the retry coalesce onto a surviving
@@ -504,6 +548,21 @@ class PageLoad:
                 state, anonymous=state.anonymous
             ),
         )
+        return True
+
+    def _note_retry_exhausted(self, state: _FetchState) -> None:
+        """Connection-loss retries ran out; the failure stands, with
+        the exhaustion (not a generic request failure) as its
+        reason."""
+        state.reason = ReasonCode.RETRY_EXHAUSTED
+        audit = self.context.audit
+        if audit.enabled:
+            audit.record(
+                "retry", ReasonCode.RETRY_EXHAUSTED,
+                page=self.page.url, hostname=state.hostname,
+                path=state.path, decision="exhausted",
+                attempt=state.loss_retries,
+            )
 
     def _maybe_race_duplicate(
         self, state: _FetchState, anonymous: bool, dialer=None
@@ -576,7 +635,7 @@ class PageLoad:
                 state.reason = ReasonCode.MISS_MISDIRECTED_421
                 self._open_and_request(state, anonymous=False)
                 return
-            if response.status == 0 and self._maybe_retry_goaway(state):
+            if response.status == 0 and self._maybe_retry_dead(state):
                 return
             self._record_success(state, response)
 
@@ -721,6 +780,15 @@ class PageLoad:
         if phases.enabled:
             phases.observe("ttfb", state.timings.wait,
                            protocol=entry.protocol)
+            if state.loss_retries and state.first_loss_at is not None:
+                # Recovery latency: first connection loss to the
+                # response that finally landed (chaos runs only; the
+                # histogram does not exist otherwise).
+                phases.observe(
+                    "recovery",
+                    response.finished_at - state.first_loss_at,
+                    protocol=entry.protocol,
+                )
         self.entries.append(entry)
         if state.resource is None:
             self.root_status = response.status
@@ -754,8 +822,8 @@ class PageLoad:
         self.entries.append(entry)
         if state.resource is None:
             self.root_status = 0
-        if state.reason is None or state.reason is not \
-                ReasonCode.MISS_DNS_NXDOMAIN:
+        if state.reason not in (ReasonCode.MISS_DNS_NXDOMAIN,
+                                ReasonCode.RETRY_EXHAUSTED):
             state.reason = ReasonCode.MISS_REQUEST_FAILED
         self._record_decision(state, 0, "failed")
         if state.span is not None:

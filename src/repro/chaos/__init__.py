@@ -1,0 +1,63 @@
+"""repro.chaos -- deterministic fault injection and blast-radius
+analysis.
+
+The paper evaluates connection coalescing's best case; this package
+probes its worst: when a connection carrying many coalesced hostnames
+dies (§6.7 saw a middlebox do exactly that in the wild), how much
+goes down with it, per coalescing policy?
+
+Layers:
+
+* :mod:`repro.chaos.schedule` -- the declarative ``[[fault]]`` TOML
+  schedule and its validation;
+* :mod:`repro.chaos.inject` -- arms a schedule against one world on
+  the simulated clock (taps, wrappers, observers), with per-fault
+  seeded RNGs and blast attribution;
+* :mod:`repro.chaos.report` -- per-fault tallies and the
+  shard-mergeable :class:`ChaosReport`;
+* :mod:`repro.chaos.run` -- the sharded runner (mirrors the traced
+  crawl pipeline) and the ``--compare-policies`` sweep.
+"""
+
+from repro.chaos.inject import (
+    CHAOS_SEED_DOMAIN,
+    RETRY_SEED_DOMAIN,
+    FaultInjector,
+)
+from repro.chaos.report import ChaosReport, FaultTally
+from repro.chaos.run import (
+    COMPARE_POLICIES,
+    DEFAULT_RETRY_POLICY,
+    ChaosRunner,
+    chaos_shard_traced,
+    compare_policies,
+)
+from repro.chaos.schedule import (
+    EMPTY_SCHEDULE,
+    KINDS,
+    ChaosError,
+    FaultSchedule,
+    FaultSpec,
+    load_fault_schedule,
+    parse_fault_schedule,
+)
+
+__all__ = [
+    "CHAOS_SEED_DOMAIN",
+    "RETRY_SEED_DOMAIN",
+    "COMPARE_POLICIES",
+    "DEFAULT_RETRY_POLICY",
+    "EMPTY_SCHEDULE",
+    "KINDS",
+    "ChaosError",
+    "ChaosReport",
+    "ChaosRunner",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTally",
+    "chaos_shard_traced",
+    "compare_policies",
+    "load_fault_schedule",
+    "parse_fault_schedule",
+]

@@ -35,6 +35,7 @@ from typing import List, Optional
 from repro import __version__
 from repro.cli import (
     cache,
+    chaos,
     crawl,
     deploy,
     explain,
@@ -62,8 +63,8 @@ from repro.dataset.characterize import (  # noqa: F401
 
 #: Command modules in help-listing order.
 _COMMAND_MODULES = (
-    crawl, model, deploy, explain, privacy, traffic, cache, profile,
-    report, run,
+    crawl, model, deploy, explain, privacy, traffic, chaos, cache,
+    profile, report, run,
 )
 
 

@@ -74,11 +74,14 @@ def cmd_audit_diff(args) -> int:
     try:
         events_a = load_audit_jsonl(args.a)
         events_b = load_audit_jsonl(args.b)
-    except UnknownReasonCode as error:
-        _diag(f"audit-diff: {error}")
-        return 2
-    except OSError as error:
-        _diag(f"audit-diff: {error}")
+    except (UnknownReasonCode, OSError, KeyError, TypeError,
+            ValueError) as error:
+        # Unreadable path, truncated/garbled JSONL, or an event doc
+        # missing required fields: a clear diagnostic and exit 2, not
+        # a traceback.
+        _diag(f"audit-diff: {error!r}"
+              if isinstance(error, (KeyError, TypeError))
+              else f"audit-diff: {error}")
         return 2
     diff = diff_decisions(events_a, events_b)
     _diag(f"audit-diff: {len(events_a)} events in {args.a}, "

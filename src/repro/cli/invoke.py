@@ -8,6 +8,7 @@ modules only choose a policy and render output.
 from __future__ import annotations
 
 from repro.runtime import (
+    ChaosWorkload,
     CrawlWorkload,
     ExecutionBackend,
     InstrumentationOptions,
@@ -38,6 +39,35 @@ def crawl_pipeline(args, policy_name: str, force_audit: bool = False,
         workload,
         instrumentation=InstrumentationOptions.from_args(
             args, force_audit=force_audit),
+        backend=ExecutionBackend(jobs=args.jobs),
+        render=render,
+    )
+
+
+def chaos_pipeline(args, schedule, retry_policy,
+                   render=None) -> RunPipeline:
+    """The fault-injected crawl behind ``chaos``.
+
+    The dataset/params construction mirrors :func:`crawl_pipeline`
+    exactly -- with an empty schedule the outputs must come out
+    byte-identical to a plain ``repro crawl`` of the same flags.
+    """
+    from repro.dataset.generator import DatasetConfig
+    from repro.dataset.shard import CrawlParams
+
+    config = DatasetConfig(site_count=args.sites, seed=args.seed)
+    params = CrawlParams(
+        policy=args.policy, speculative_rate=0.10,
+        alpn=getattr(args, "alpn", "h2"),
+        dns_latency_ms=getattr(args, "dns_latency", 48.0),
+    )
+    workload = ChaosWorkload(
+        config, params, schedule, retry_policy,
+        shards=args.shards, report_out=args.out,
+    )
+    return RunPipeline(
+        workload,
+        instrumentation=InstrumentationOptions.from_args(args),
         backend=ExecutionBackend(jobs=args.jobs),
         render=render,
     )

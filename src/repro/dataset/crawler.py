@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.browser import BrowserContext, BrowserEngine, ChromiumPolicy
 from repro.browser.policy import CoalescingPolicy
+from repro.browser.retry import RetryPolicy
 from repro.dataset.world import SyntheticWorld
 from repro.obs.phases import NULL_PHASES, PhaseRecorder
 from repro.telemetry import Telemetry
@@ -99,6 +100,8 @@ class Crawler:
         seed: int = 7,
         telemetry: Optional[Telemetry] = None,
         alpn: str = "h2",
+        retry_policy: Optional["RetryPolicy"] = None,
+        retry_seed: Optional[int] = None,
     ) -> None:
         self.world = world
         self.policy = policy or ChromiumPolicy()
@@ -136,6 +139,13 @@ class Crawler:
             alpn=self.alpn,
             phases=phases,
         )
+        if retry_policy is not None:
+            # Chaos runs pin an explicit policy; the separate retry
+            # RNG keeps jitter draws off the decision stream so a
+            # retry-enabled crawl with no faults stays byte-identical.
+            self.context.retry_policy = retry_policy
+            if retry_seed is not None:
+                self.context.retry_rng = np.random.default_rng(retry_seed)
         self.engine = BrowserEngine(self.context)
 
     def crawl_site(self, hosted) -> HarArchive:

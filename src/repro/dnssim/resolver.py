@@ -206,6 +206,31 @@ class CachingResolver:
         """Drop every cached answer (new browser session semantics)."""
         self._cache.clear()
 
+    def stale_answer(self, name: str) -> Optional[DnsAnswer]:
+        """A copy of an *expired* cached answer, if one is still around.
+
+        Supports the chaos ``dns_stale`` fault: a resolver serving a
+        stale record past its TTL (misbehaving caches do this in the
+        wild, and coalescing decisions made on stale addresses are
+        exactly the hazard the paper's §4 address-matching rules worry
+        about).  Never touches the RNG and never evicts, so probing
+        for staleness cannot perturb an unfaulted run.
+        """
+        entry = self._cache.get(normalize_name(name))
+        if entry is None or entry.expires_at > self._loop.now():
+            return None
+        entry.hits += 1
+        return DnsAnswer(
+            name=entry.answer.name,
+            addresses=list(entry.answer.addresses),
+            ttl=0.0,
+            cname_chain=entry.answer.cname_chain,
+            from_cache=True,
+            query_time_ms=0.0,
+            encrypted_transport=entry.answer.encrypted_transport,
+            https_alpn=entry.answer.https_alpn,
+        )
+
     def _cache_get(self, name: str) -> Optional[DnsAnswer]:
         entry = self._cache.get(name)
         if entry is None:

@@ -210,6 +210,11 @@ class H2ClientSession(Session):
         # tore it down, §6.7): surface the reset to every outstanding
         # request as a status-0 response.
         self._end_conn_span(closed="transport")
+        if self._h1 is not None:
+            # ALPN fell back to HTTP/1.1: the serial queue lives in the
+            # fallback protocol, which surfaces its own dead responses.
+            self._h1.fail_all()
+            return
         pending = list(self._pending.items())
         self._pending.clear()
         for stream_id, request in pending:
@@ -225,6 +230,26 @@ class H2ClientSession(Session):
                     sent_at=request.sent_at,
                     headers_at=request.sent_at,
                     finished_at=self.network.loop.now(),
+                )
+            )
+        # Requests still queued behind the peer's concurrent-stream cap
+        # were never sent; they die with the connection too.  Without
+        # this, a mid-flight teardown leaves their callbacks unfired
+        # and the page load waits forever.
+        queued, self._stream_queue = self._stream_queue, []
+        now = self.network.loop.now()
+        for authority, path, callback, _method, _extra in queued:
+            callback(
+                H2Response(
+                    stream_id=-1,
+                    status=0,
+                    headers=[],
+                    body=b"",
+                    authority=authority,
+                    path=path,
+                    sent_at=now,
+                    headers_at=now,
+                    finished_at=now,
                 )
             )
 

@@ -209,6 +209,34 @@ class H1ClientProtocol:
         request.callback(response)
         self.pump()
 
+    def fail_all(self) -> None:
+        """The connection died under us: surface the in-flight request
+        and everything queued behind it as status-0 responses (the
+        dead-response contract the H2 session uses), so no fetch waits
+        forever on a torn-down connection."""
+        dead: List[_QueuedRequest] = []
+        if self._in_flight is not None:
+            dead.append(self._in_flight)
+            self._in_flight = None
+        dead.extend(self._queue)
+        self._queue.clear()
+        self._buffer = b""
+        now = self._now()
+        for request in dead:
+            request.callback(
+                H2Response(
+                    stream_id=0,
+                    status=0,
+                    headers=[],
+                    body=b"",
+                    authority=request.authority,
+                    path=request.path,
+                    sent_at=request.sent_at or now,
+                    headers_at=request.sent_at or now,
+                    finished_at=now,
+                )
+            )
+
 
 class H1ClientSession:
     """A serial HTTP/1.1 client connection.
@@ -289,7 +317,16 @@ class H1ClientSession:
         self.channel.on_established = self._on_tls_established
         self.channel.on_failed = self._fail
         self.channel.on_app_data = self._on_app_data
+        transport.on_close = self._on_transport_closed
         self.channel.start()
+
+    def _on_transport_closed(self) -> None:
+        self.closed = True
+        if not self.ready and self.failed is None:
+            self._fail("connection closed during handshake")
+            return
+        if self._protocol is not None:
+            self._protocol.fail_all()
 
     def _on_tls_established(self) -> None:
         assert self.channel is not None

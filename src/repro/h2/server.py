@@ -121,6 +121,15 @@ class ServerConfig:
         _, _, parent = sni.partition(".")
         return self._chain_wildcard.get(parent)
 
+    def replace_chains(self, chains: List[List[Certificate]]) -> None:
+        """Swap the certificate chains mid-run (rotation/expiry faults).
+
+        The SNI index only rebuilds when the chain *count* changes, so
+        an in-place swap must force it stale explicitly.
+        """
+        self.chains = list(chains)
+        self._chain_index_size = -1
+
     def origin_set_for(self, sni: str) -> Tuple[str, ...]:
         if sni in self.origin_sets:
             return self.origin_sets[sni]

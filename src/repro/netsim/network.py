@@ -172,6 +172,40 @@ class Network:
     def datagram_service_at(self, ip: str, port: int) -> Optional[Service]:
         return self._datagram_services.get((ip, port))
 
+    def services_owned_by(self, owner: object) -> List[Tuple[Service, bool]]:
+        """All ``(service, is_datagram)`` listeners whose acceptor is a
+        bound method of ``owner`` (e.g. an H2Server), in registration
+        order.  Used by fault injection to find every port an edge
+        answers on."""
+        found: List[Tuple[Service, bool]] = []
+        for service in self._services.values():
+            if getattr(service.acceptor, "__self__", None) is owner:
+                found.append((service, False))
+        for service in self._datagram_services.values():
+            if getattr(service.acceptor, "__self__", None) is owner:
+                found.append((service, True))
+        return found
+
+    def suspend_service(self, service: Service, datagram: bool = False) -> None:
+        """Remove a listener while keeping the :class:`Service` object
+        (and its counters) alive so :meth:`resume_service` can restore
+        it.  New connection attempts are refused while suspended."""
+        table = self._datagram_services if datagram else self._services
+        key = (service.ip, service.port)
+        if table.get(key) is not service:
+            raise ValueError(
+                f"{service.ip}:{service.port} is not bound to this service"
+            )
+        del table[key]
+
+    def resume_service(self, service: Service, datagram: bool = False) -> None:
+        """Re-register a previously suspended listener."""
+        table = self._datagram_services if datagram else self._services
+        key = (service.ip, service.port)
+        if key in table:
+            raise ValueError(f"{service.ip}:{service.port} already has a listener")
+        table[key] = service
+
     # -- taps ---------------------------------------------------------------
 
     def add_tap(self, tap: NetworkTap) -> None:
@@ -232,6 +266,19 @@ class Network:
             service.acceptor(server_end)
 
         def complete() -> None:
+            if client_end.closed:
+                # The connection was torn down (server crash, on-path
+                # RST) between the server's accept and the client's
+                # connect completing: the client sees a refusal, not a
+                # transport it could never use.
+                error = ConnectionRefused(
+                    f"connection reset by {server_ip}:{port}"
+                )
+                if on_refused is not None:
+                    on_refused(error)
+                else:
+                    raise error
+                return
             on_connect(client_end)
 
         self.loop.schedule(rtt / 2.0, establish)

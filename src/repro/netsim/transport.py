@@ -42,6 +42,11 @@ class Transport:
         self.on_data: Optional[Callable[[bytes], None]] = None
         self.on_close: Optional[Callable[[], None]] = None
         self.closed = False
+        #: Set when the connection died to a mid-path RST (:meth:`abort`)
+        #: rather than an orderly close.  Writes racing an RST vanish on
+        #: the wire instead of raising -- endpoints that have not yet
+        #: observed the teardown may still be mid-callback.
+        self.aborted = False
         self.bytes_sent = 0
         self.bytes_received = 0
         #: On-path interposer (middlebox model): called with each chunk
@@ -77,6 +82,8 @@ class Transport:
     def send(self, data: bytes) -> None:
         """Queue ``data`` for in-order delivery to the peer."""
         if self.closed:
+            if self.aborted:
+                return  # write racing a mid-path RST: dropped, not an error
             raise TransportClosed(
                 f"send on closed transport to {self.remote_address}"
             )
@@ -157,6 +164,7 @@ class Transport:
         """
         for endpoint in (self, self.peer):
             if endpoint is not None and not endpoint.closed:
+                endpoint.aborted = True
                 endpoint.closed = True
                 if endpoint.on_close is not None:
                     endpoint.on_close()

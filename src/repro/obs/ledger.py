@@ -214,10 +214,20 @@ class RunRecord:
                 raise LedgerError(
                     f"{source}:{number}: not JSON ({error})"
                 ) from error
+            if not isinstance(doc, dict):
+                raise LedgerError(
+                    f"{source}:{number}: record lines are JSON "
+                    f"objects, got {type(doc).__name__}"
+                )
             tag = doc.pop("t", None)
             if tag == "meta":
                 meta = doc
             elif tag == "phase":
+                if "name" not in doc or "labels" not in doc:
+                    raise LedgerError(
+                        f"{source}:{number}: phase line needs "
+                        f"'name' and 'labels'"
+                    )
                 phases.append(doc)
             elif tag == "headline":
                 headline = doc.get("metrics", {})

@@ -34,12 +34,14 @@ from repro.runtime.scenario import (
     parse_scenario,
 )
 from repro.runtime.workloads import (
+    ChaosWorkload,
     CrawlWorkload,
     RunOutcome,
     TrafficWorkload,
 )
 
 __all__ = [
+    "ChaosWorkload",
     "CrawlWorkload",
     "ExecutionBackend",
     "InstrumentationOptions",

@@ -50,14 +50,15 @@ class ScenarioError(ValueError):
 #: Commands a scenario may run (everything that takes only flags).
 SCENARIO_COMMANDS = (
     "crawl", "model", "privacy", "explain", "traffic", "profile",
-    "deploy",
+    "deploy", "chaos",
 )
 
 #: Accepted sections.  All non-``run`` sections flatten into flags;
 #: the split is documentation (what part of the run a knob shapes),
 #: not semantics.
 SCENARIO_SECTIONS = (
-    "run", "dataset", "traffic", "instrumentation", "sinks", "render",
+    "run", "dataset", "traffic", "chaos", "instrumentation", "sinks",
+    "render",
 )
 
 #: Execution knobs that never change results and therefore do not

@@ -88,6 +88,20 @@ class AggregateSink:
         diag(f"aggregate: -> {self.out} (canonical JSONL)")
 
 
+class ChaosReportSink:
+    """Canonical blast-radius report JSONL (``chaos --out OUT``),
+    byte-identical across ``--jobs``."""
+
+    def __init__(self, out) -> None:
+        self.out = out
+
+    def __call__(self, outcome) -> None:
+        report = outcome.extras["report"]
+        with open(self.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_jsonl())
+        diag(f"report: -> {self.out} (canonical JSONL)")
+
+
 class LedgerSink:
     """Append the run record (phases, headline, SLO verdicts)."""
 

@@ -11,6 +11,9 @@ every pipeline command:
   instrumentation forces the live path.
 * :class:`TrafficWorkload` -- the population-scale traffic
   simulation behind ``traffic``; always live (no cache exists).
+* :class:`ChaosWorkload` -- the fault-injected crawl behind
+  ``chaos``; always live (the blast-radius report and audit stream
+  only exist when the simulation actually runs).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.runtime.sinks import (
     AuditSink,
     CacheStatusSink,
     CacheStoreSink,
+    ChaosReportSink,
     LedgerSink,
     RenderSink,
     TraceSink,
@@ -236,6 +240,116 @@ class TrafficWorkload:
             sinks.append(RenderSink(render))
         if self.aggregate_out:
             sinks.append(AggregateSink(self.aggregate_out))
+        if options.audit_out:
+            sinks.append(AuditSink(options.audit_out))
+        if options.ledger_dir:
+            sinks.append(LedgerSink(options.ledger_dir, rules, self))
+        return sinks
+
+
+class ChaosWorkload:
+    """A fault-injected crawl: the crawl pipeline plus an armed
+    :class:`~repro.chaos.inject.FaultInjector` per shard and the
+    shard-merged :class:`~repro.chaos.report.ChaosReport`.
+
+    Always live and never cached: the schedule perturbs the
+    simulation, so a cached (unfaulted) crawl would be the wrong
+    result, and the report itself only exists on the live path.
+    """
+
+    unit = "pages"
+    always_live = True
+
+    def __init__(self, config, params, schedule, retry_policy,
+                 shards: int = 0,
+                 report_out: Optional[str] = None) -> None:
+        from repro.dataset.shard import plan_shards
+
+        self.config = config
+        self.params = params
+        self.schedule = schedule
+        self.retry_policy = retry_policy
+        self.shard_count = len(plan_shards(config, shards or None))
+        self.report_out = report_out
+
+    def fingerprint(self) -> str:
+        """Crawl cache key extended with the schedule and retry
+        policy: two chaos runs are "the same" only when the fault
+        plan matches too."""
+        import dataclasses
+
+        from repro.dataset.cache import cache_key
+        from repro.obs.ledger import canonical_fingerprint
+
+        return canonical_fingerprint({
+            "crawl": cache_key(self.config, self.params,
+                               self.shard_count),
+            "schedule": self.schedule.to_doc(),
+            "retry": dataclasses.asdict(self.retry_policy),
+        })
+
+    def execute_live(self, backend, options, rules) -> RunOutcome:
+        from repro.chaos.run import ChaosRunner
+        from repro.obs.heartbeat import Heartbeat
+
+        runner = ChaosRunner(
+            self.config, params=self.params, schedule=self.schedule,
+            retry_policy=self.retry_policy,
+            shard_count=self.shard_count, jobs=backend.jobs,
+        )
+        hb = Heartbeat()
+        try:
+            with backend.wrap():
+                result, trace, report = runner.run(
+                    progress=None if hb.enabled else shard_progress,
+                    trace=options.want_trace,
+                    watch=ledger_watch(hb, rules, unit=self.unit),
+                )
+        finally:
+            hb.close()
+        return RunOutcome(
+            config=self.config, shard_count=self.shard_count,
+            result=result, trace=trace,
+            fingerprint=self.fingerprint(),
+            extras={"report": report},
+        )
+
+    def build_record(self, outcome, rules):
+        from repro.obs.ledger import build_crawl_record
+
+        record = build_crawl_record(
+            "chaos", self.config, self.params,
+            self.shard_count, outcome.result,
+            outcome.trace.metrics, slo_rules=rules,
+        )
+        # Rekey onto the chaos fingerprint (schedule + retry policy
+        # included) so an unchaosed crawl of the same dataset never
+        # collides with a faulted one in the ledger.
+        fingerprint = outcome.fingerprint or self.fingerprint()
+        record.meta["fingerprint"] = fingerprint
+        record.meta["run"] = f"chaos-{fingerprint[:12]}"
+        record.meta["schedule"] = self.schedule.source
+        report = outcome.extras.get("report")
+        if report is not None:
+            record.headline.update(
+                connections_lost=report.connections_lost,
+                coalesced_lost=report.coalesced_lost,
+                hostnames_affected=report.hostnames_affected,
+                mean_blast_radius=round(report.mean_blast_radius, 6),
+                requests_retried=report.requests_retried,
+                requests_exhausted=report.requests_exhausted,
+            )
+        return record
+
+    def sinks(self, options, rules, live: bool,
+              render=None) -> List[object]:
+        """Ordered sinks: trace+metrics, the stdout report, then the
+        report/audit/ledger artifacts (the traffic interleaving)."""
+        sinks: List[object] = [TraceSink(options)]
+        if render is not None:
+            sinks.append(RenderSink(render))
+        if self.report_out:
+            sinks.append(ChaosReportSink(self.report_out))
         if options.audit_out:
             sinks.append(AuditSink(options.audit_out))
         if options.ledger_dir:

@@ -1,0 +1,584 @@
+"""repro.chaos: fault schedules, deterministic injection, blast radius.
+
+The two determinism gates here (empty-schedule non-perturbation and
+jobs-invariance) are the in-process versions of the CI ``chaos-smoke``
+job, which holds the same invariants down to ``cmp`` on the CLI
+artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.log import AuditLog, events_to_jsonl
+from repro.audit.reasons import ReasonCode
+from repro.browser import BrowserContext, BrowserEngine, FirefoxPolicy
+from repro.browser.retry import RetryPolicy
+from repro.chaos import (
+    ChaosError,
+    ChaosReport,
+    DEFAULT_RETRY_POLICY,
+    EMPTY_SCHEDULE,
+    ChaosRunner,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    chaos_shard_traced,
+    load_fault_schedule,
+    parse_fault_schedule,
+)
+from repro.cli import main
+from repro.dataset.generator import DatasetConfig
+from repro.dataset.shard import (
+    CrawlParams,
+    ParallelCrawler,
+    derive_seed,
+    plan_shards,
+)
+from repro.dataset.world import build_world
+from repro.deployment import BuggyMiddlebox, DeploymentExperiment
+from repro.deployment.experiment import deployment_world_config
+from repro.telemetry import Telemetry
+from repro.traffic import plan_user_shards, simulate_shard
+from repro.traffic.scenario import ScenarioConfig
+
+
+def tiny_params(**overrides) -> CrawlParams:
+    defaults = dict(policy="chromium", speculative_rate=0.10,
+                    dns_latency_ms=48.0, seed=7, alpn="h2")
+    defaults.update(overrides)
+    return CrawlParams(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Schedule parsing and validation
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleParsing:
+    def test_full_table_round_trips(self):
+        schedule = parse_fault_schedule(
+            """
+            [[fault]]
+            name = "outage"
+            kind = "edge_crash"
+            at = 4000.0
+            duration = 1500.0
+            target = "edge-*"
+            seed = 3
+            """,
+            source="inline",
+        )
+        assert schedule.source == "inline"
+        (fault,) = schedule.faults
+        assert fault == FaultSpec(name="outage", kind="edge_crash",
+                                  at=4000.0, duration=1500.0,
+                                  target="edge-*", seed=3)
+        assert fault.until == 5500.0
+        assert fault.active_at(4000.0) and not fault.active_at(5500.0)
+
+    def test_defaults_and_windows(self):
+        schedule = parse_fault_schedule(
+            """
+            [[fault]]
+            kind = "packet_loss"
+            at = 0.0
+            rate = 0.01
+
+            [[fault]]
+            kind = "goaway_storm"
+            at = 500.0
+            """
+        )
+        loss, storm = schedule.faults
+        # Default names are "<kind>-<index>"; open-ended windows for
+        # duration-0 sampled kinds, instantaneous for one-shot kinds.
+        assert loss.name == "packet_loss-0"
+        assert storm.name == "goaway_storm-1"
+        assert loss.until == float("inf")
+        assert storm.until == storm.at
+        assert not schedule.empty
+        assert EMPTY_SCHEDULE.empty
+
+    @pytest.mark.parametrize("body,fragment", [
+        ("[[fault]]\nkind = \"meteor\"\nat = 0.0", "unknown fault kind"),
+        ("[[fault]]\nkind = \"packet_loss\"", "'at' (simulated ms)"),
+        ("[[fault]]\nkind = \"packet_loss\"\nat = -1.0", "must be >= 0"),
+        ("[[fault]]\nat = 0.0", "'kind' is required"),
+        ("[[fault]]\nkind = \"packet_loss\"\nat = 0.0\nrate = 0.0",
+         "'rate' must be in (0, 1]"),
+        ("[[fault]]\nkind = \"packet_loss\"\nat = 0.0\nrate = 1.5",
+         "'rate' must be in (0, 1]"),
+        ("[[fault]]\nkind = \"packet_loss\"\nat = 0.0\nblast = 2",
+         "unknown key(s) ['blast']"),
+        ("[[fault]]\nkind = \"packet_loss\"\nat = 0.0\ncount = -1",
+         "'count' must be a non-negative integer"),
+        ("[fault]\nkind = \"packet_loss\"\nat = 0.0",
+         "only [[fault]] tables"),
+        ("[[failure]]\nkind = \"packet_loss\"\nat = 0.0",
+         "only [[fault]] tables"),
+    ])
+    def test_rejects_bad_tables(self, body, fragment):
+        with pytest.raises(ChaosError) as excinfo:
+            parse_fault_schedule(body)
+        assert fragment in str(excinfo.value)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ChaosError, match="duplicate fault name"):
+            parse_fault_schedule(
+                """
+                [[fault]]
+                name = "twin"
+                kind = "goaway_storm"
+                at = 100.0
+
+                [[fault]]
+                name = "twin"
+                kind = "goaway_storm"
+                at = 200.0
+                """
+            )
+
+    def test_load_missing_file_is_chaos_error(self, tmp_path):
+        with pytest.raises(ChaosError, match="cannot read"):
+            load_fault_schedule(tmp_path / "absent.toml")
+
+    def test_demo_schedule_parses(self):
+        schedule = load_fault_schedule("examples/faults_demo.toml")
+        assert [fault.kind for fault in schedule.faults] == [
+            "packet_loss", "goaway_storm", "goaway_storm", "edge_crash",
+        ]
+
+    def test_arming_twice_is_a_bug(self):
+        world = plan_shards(DatasetConfig(site_count=2, seed=2022),
+                            1)[0].build_world()
+        injector = FaultInjector(world, EMPTY_SCHEDULE, seed=1)
+        injector.arm()
+        with pytest.raises(ChaosError, match="already armed"):
+            injector.arm()
+
+    def test_dns_faults_require_a_resolver(self):
+        world = plan_shards(DatasetConfig(site_count=2, seed=2022),
+                            1)[0].build_world()
+        schedule = FaultSchedule(faults=(
+            FaultSpec(name="dns", kind="dns_servfail", at=0.0),
+        ))
+        with pytest.raises(ChaosError, match="no resolver"):
+            FaultInjector(world, schedule, seed=1).arm()
+
+
+# ---------------------------------------------------------------------------
+# Determinism gates
+# ---------------------------------------------------------------------------
+
+
+class TestEmptyScheduleNonPerturbation:
+    def test_identical_to_plain_crawl(self):
+        """Arming an empty schedule (retry policy pinned, retry RNG
+        seeded) must not move a single byte of the archives or the
+        audit stream relative to a plain crawl."""
+        config = DatasetConfig(site_count=6, seed=2022)
+        params = tiny_params()
+
+        plain = ParallelCrawler(config, params=params, shard_count=2,
+                                jobs=1)
+        p_result, p_trace = plain.crawl_traced(audit=True)
+
+        runner = ChaosRunner(config, params=params,
+                             schedule=EMPTY_SCHEDULE,
+                             retry_policy=DEFAULT_RETRY_POLICY,
+                             shard_count=2, jobs=1)
+        c_result, c_trace, report = runner.run()
+
+        assert [a.to_json() for a in p_result.archives] \
+            == [a.to_json() for a in c_result.archives]
+        assert events_to_jsonl(p_trace.audit) \
+            == events_to_jsonl(c_trace.audit)
+        assert report.connections_lost == 0
+        assert report.requests_retried == 0
+        assert report.requests_exhausted == 0
+
+
+class TestJobsDeterminism:
+    def test_report_and_audit_identical_across_jobs(self):
+        """A mixed five-kind schedule produces byte-identical report
+        and audit JSONL at --jobs 1 and --jobs 2."""
+        schedule = FaultSchedule(faults=(
+            FaultSpec(name="loss", kind="packet_loss", at=100.0,
+                      duration=4000.0, rate=0.01),
+            FaultSpec(name="crash", kind="edge_crash", at=900.0,
+                      duration=600.0, target="edge-*"),
+            FaultSpec(name="dns", kind="dns_servfail", at=0.0,
+                      duration=2000.0, rate=0.5, magnitude_ms=80.0),
+            FaultSpec(name="storm", kind="goaway_storm", at=500.0),
+            FaultSpec(name="expiry", kind="cert_expiry", at=1200.0,
+                      target="origin-*"),
+        ), source="gate")
+        config = DatasetConfig(site_count=8, seed=2022)
+        outs = []
+        for jobs in (1, 2):
+            runner = ChaosRunner(config, params=tiny_params(),
+                                 schedule=schedule,
+                                 retry_policy=DEFAULT_RETRY_POLICY,
+                                 shard_count=2, jobs=jobs)
+            _, trace, report = runner.run()
+            outs.append((report.to_jsonl(),
+                         events_to_jsonl(trace.audit)))
+        assert outs[0] == outs[1]
+
+    def test_faults_actually_fire(self):
+        schedule = FaultSchedule(faults=(
+            FaultSpec(name="storm", kind="goaway_storm", at=500.0),
+        ), source="storm")
+        runner = ChaosRunner(DatasetConfig(site_count=6, seed=2022),
+                             params=tiny_params(), schedule=schedule,
+                             retry_policy=DEFAULT_RETRY_POLICY,
+                             shard_count=1)
+        _, trace, report = runner.run()
+        assert report.tallies[0].fired == 1
+        assert report.connections_lost + report.immature_lost > 0
+        reasons = {event.reason for event in trace.audit}
+        assert ReasonCode.FAULT_INJECTED.value in reasons
+
+
+# ---------------------------------------------------------------------------
+# Blast radius: the robustness cost of coalescing
+# ---------------------------------------------------------------------------
+
+
+class TestBlastRadius:
+    def test_coalescing_widens_the_blast(self):
+        """Ideal ORIGIN coalescing opens fewer connections than the
+        unshared baseline but loses more hostnames per lost
+        connection -- the §6.7 incident generalized (acceptance
+        criterion for the chaos subsystem)."""
+        schedule = load_fault_schedule("examples/faults_demo.toml")
+        config = DatasetConfig(site_count=40, seed=2022)
+        spec = plan_shards(config, 2)[0]
+        reports = {}
+        for policy in ("none", "ideal-origin"):
+            shard_result, fault_docs = chaos_shard_traced(
+                spec, tiny_params(policy=policy), schedule,
+                DEFAULT_RETRY_POLICY, trace=False,
+            )
+            report = ChaosReport(policy=policy,
+                                 schedule_source=schedule.source)
+            report.absorb_tallies(fault_docs)
+            report.connections_opened = sum(
+                archive.new_connection_count()
+                for archive in shard_result.payload.successes
+            )
+            reports[policy] = report
+        baseline, ideal = reports["none"], reports["ideal-origin"]
+        assert baseline.connections_lost > 0
+        # Unshared connections carry exactly one hostname each.
+        assert baseline.coalesced_lost == 0
+        assert baseline.mean_blast_radius == pytest.approx(1.0)
+        # Coalescing: fewer connections, wider blast.
+        assert ideal.connections_opened < baseline.connections_opened
+        assert ideal.coalesced_lost > 0
+        assert ideal.mean_blast_radius > baseline.mean_blast_radius
+
+    def test_report_shard_merge_is_counter_addition(self):
+        tally_docs = [
+            {"name": "storm", "kind": "goaway_storm", "fired": 1,
+             "events": 3, "connections_lost": 2, "coalesced_lost": 1,
+             "immature_lost": 1, "hostnames_affected": 5,
+             "requests_affected": 9, "clients": ["10.0.0.1"]},
+            {"name": "storm", "kind": "goaway_storm", "fired": 1,
+             "events": 2, "connections_lost": 1, "coalesced_lost": 0,
+             "immature_lost": 0, "hostnames_affected": 1,
+             "requests_affected": 2, "clients": ["10.0.0.2"]},
+        ]
+        report = ChaosReport(policy="chromium", schedule_source="x")
+        report.absorb_tallies(tally_docs[:1])
+        report.absorb_tallies(tally_docs[1:])
+        (tally,) = report.tallies
+        assert tally.fired == 2
+        assert tally.connections_lost == 3
+        assert tally.hostnames_affected == 6
+        assert tally.users_affected == 2
+        assert report.mean_blast_radius == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# ConnectionRegistry consistency under fault-driven eviction storms
+# ---------------------------------------------------------------------------
+
+
+def assert_registry_consistent(registry):
+    """The three lookup indexes and the list agree exactly."""
+    listed = {id(facts) for facts in registry}
+    for bucket_map in (registry.by_sni, registry.by_endpoint):
+        indexed = {id(facts) for bucket in bucket_map.values()
+                   for facts in bucket}
+        assert indexed == listed
+        assert all(bucket for bucket in bucket_map.values())
+    ip_indexed = {id(facts) for bucket in registry.by_ip.values()
+                  for facts in bucket}
+    assert ip_indexed <= listed
+    assert all(bucket for bucket in registry.by_ip.values())
+    for facts in registry:
+        assert any(entry is facts
+                   for entry in registry.by_sni.get(facts.sni, ()))
+        assert any(entry is facts for entry in registry.by_endpoint.get(
+            (facts.sni, facts.transport_name), ()))
+
+
+class TestRegistryUnderStorms:
+    def test_indexes_never_dangle(self):
+        """Storms, crashes, and random loss rip connections out of the
+        pool mid-crawl; after pruning, by_sni/by_ip/by_endpoint must
+        hold exactly the live entries -- no dangling facts, no empty
+        buckets."""
+        schedule = FaultSchedule(faults=(
+            FaultSpec(name="loss", kind="packet_loss", at=0.0,
+                      rate=0.05),
+            FaultSpec(name="storm", kind="goaway_storm", at=400.0),
+            FaultSpec(name="crash", kind="edge_crash", at=700.0,
+                      duration=400.0, target="edge-*"),
+        ), source="storms")
+        spec = plan_shards(DatasetConfig(site_count=10, seed=2022),
+                           1)[0]
+        world = spec.build_world()
+        telemetry = Telemetry(clock=world.network.loop.now,
+                              trace=False, audit=True)
+        from repro.browser.policy import policy_by_name
+        from repro.dataset.crawler import Crawler
+
+        crawler = Crawler(
+            world, policy=policy_by_name("chromium"),
+            speculative_rate=0.10, seed=7, telemetry=telemetry,
+            retry_policy=DEFAULT_RETRY_POLICY,
+            retry_seed=derive_seed(7, 5, 0, 1),
+        )
+        injector = FaultInjector(world, schedule, seed=derive_seed(
+            7, 4, 0, 1), resolver=crawler.resolver,
+            audit=telemetry.audit)
+        injector.arm()
+
+        pruned_total = 0
+        for hosted in world.sites:
+            crawler.crawl_site(hosted)
+            if not hosted.record.accessible:
+                continue  # nothing was loaded; no pool to inspect
+            pool = crawler.engine.loads[-1].pool
+            pool.open_count  # lazily prunes dead connections
+            for facts in pool.connections:
+                assert not facts.session.closed
+                assert facts.session.failed is None
+            assert_registry_consistent(pool.connections)
+            pruned_total += pool.stats.pruned_connections
+        assert pruned_total >= 1
+        assert sum(tally.events for tally in injector.tallies) > 0
+
+
+# ---------------------------------------------------------------------------
+# §6.7 as a fault schedule
+# ---------------------------------------------------------------------------
+
+
+def load_deployment_site(world, site, audit):
+    telemetry = Telemetry(clock=world.network.loop.now, trace=False,
+                          audit=True)
+    telemetry.audit = audit
+    context = BrowserContext(
+        network=world.network,
+        client_host=world.client_host,
+        resolver=world.make_resolver(),
+        trust_store=world.trust_store,
+        authorities=world.authorities,
+        policy=FirefoxPolicy(origin_frames=True),
+        asdb=world.asdb,
+        telemetry=telemetry,
+    )
+    return BrowserEngine(context).load_blocking(site.hosted.record.page)
+
+
+class TestMiddleboxFaultSchedule:
+    def test_schedule_reproduces_the_667_teardown(self):
+        """A `middlebox_teardown` fault targeting the crawl client
+        makes the same decisions as the hand-installed §6.7
+        BuggyMiddlebox: same teardown events, same dead page."""
+
+        def fresh_world():
+            world = build_world(
+                deployment_world_config(site_count=40, seed=77)
+            )
+            experiment = DeploymentExperiment(world)
+            experiment.reissue_certificates()
+            experiment.enable_origin_frames()
+            return world, experiment
+
+        # Run A: the original deployment-experiment middlebox.
+        world_a, experiment_a = fresh_world()
+        audit_a = AuditLog(clock=world_a.network.loop.now)
+        middlebox = BuggyMiddlebox(
+            world_a.network,
+            protected_clients={world_a.client_host.name},
+        )
+        middlebox.audit = audit_a
+        middlebox.install()
+        archive_a = load_deployment_site(
+            world_a, experiment_a.sample[0], audit_a
+        )
+        middlebox.uninstall()
+
+        # Run B: the same incident declared as a fault schedule.
+        world_b, experiment_b = fresh_world()
+        audit_b = AuditLog(clock=world_b.network.loop.now)
+        schedule = parse_fault_schedule(
+            f"""
+            [[fault]]
+            name = "noncompliant-middlebox"
+            kind = "middlebox_teardown"
+            at = 0.0
+            target = "{world_b.client_host.name}"
+            """,
+            source="middlebox-667",
+        )
+        injector = FaultInjector(world_b, schedule, seed=1,
+                                 audit=audit_b)
+        injector.arm()
+        archive_b = load_deployment_site(
+            world_b, experiment_b.sample[0], audit_b
+        )
+
+        # Both runs kill the page the same way.
+        assert not archive_a.page.success
+        assert not archive_b.page.success
+        assert middlebox.stats.unknown_frames_seen > 0
+        assert middlebox.stats.connections_torn_down > 0
+        stats_b = injector.middlebox_stats
+        assert stats_b.unknown_frames_seen \
+            == middlebox.stats.unknown_frames_seen
+        assert stats_b.connections_torn_down \
+            == middlebox.stats.connections_torn_down
+        assert stats_b.frames_inspected == middlebox.stats.frames_inspected
+
+        def decisions(events):
+            return [(event.reason, event.attrs.get("frame_type"))
+                    for event in events if event.kind == "middlebox"]
+
+        assert decisions(audit_a.events) == decisions(audit_b.events)
+        assert decisions(audit_b.events)  # the teardown is audited
+        # The injector attributes the torn-down connection as a fault
+        # loss on top of the middlebox's own decision record.
+        assert injector.tallies[0].connections_lost \
+            + injector.tallies[0].immature_lost > 0
+
+
+# ---------------------------------------------------------------------------
+# Legacy GOAWAY knobs == explicit RetryPolicy (satellite: consolidation)
+# ---------------------------------------------------------------------------
+
+
+class TestLegacyGoawayEquivalence:
+    def test_traffic_overload_audit_is_identical(self, monkeypatch):
+        """The traffic simulator's legacy goaway_retry_limit/backoff
+        knobs must route through the unified RetryPolicy with zero
+        behaviour change: pinning the equivalent explicit policy
+        yields a byte-identical audit stream."""
+        scenario = ScenarioConfig(
+            users=16, site_count=6, seed=2022, duration_ms=8_000.0,
+            mean_visits_per_user=2.0, bucket_ms=2_000.0,
+            edge_capacity=2,
+        )
+        shard = plan_user_shards(scenario, 1)[0]
+        baseline = simulate_shard(shard)
+        assert baseline.payload.retries > 0  # overload actually bites
+
+        original_init = BrowserEngine.__init__
+
+        def pin_explicit_policy(self, context):
+            if context.retry_policy is None:
+                context.retry_policy = RetryPolicy.legacy_goaway(
+                    context.goaway_retry_limit,
+                    context.goaway_retry_backoff_ms,
+                )
+            original_init(self, context)
+
+        monkeypatch.setattr(BrowserEngine, "__init__",
+                            pin_explicit_policy)
+        pinned = simulate_shard(shard)
+
+        assert events_to_jsonl(baseline.events) \
+            == events_to_jsonl(pinned.events)
+        assert baseline.payload.retries == pinned.payload.retries
+        assert baseline.payload.failed == pinned.payload.failed
+
+    def test_legacy_goaway_policy_shape(self):
+        policy = RetryPolicy.legacy_goaway(2, 120.0)
+        assert policy.max_retries == 2
+        assert not policy.retry_connection_loss
+        assert policy.jitter_ms == 0.0
+        # Linear backoff: attempt n waits n * base.
+        rng = np.random.default_rng(0)
+        assert policy.backoff_ms(1, rng) == pytest.approx(120.0)
+        assert policy.backoff_ms(2, rng) == pytest.approx(240.0)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+
+
+# ---------------------------------------------------------------------------
+# CLI guard rails: bad inputs exit 2, never traceback
+# ---------------------------------------------------------------------------
+
+
+class TestCliGuards:
+    def test_chaos_missing_schedule_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--schedule", str(tmp_path / "nope.toml"),
+                  "--sites", "2"])
+        assert excinfo.value.code == 2
+
+    def test_chaos_invalid_schedule_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text("[[fault]]\nkind = \"meteor\"\nat = 0.0\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--schedule", str(bad), "--sites", "2"])
+        assert excinfo.value.code == 2
+
+    def test_report_missing_record_exits_2(self, tmp_path):
+        assert main(["report", str(tmp_path / "absent.json")]) == 2
+
+    def test_report_empty_record_exits_2(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+
+    @pytest.mark.parametrize("line", ["null", "[1, 2]", '"record"'])
+    def test_report_non_object_record_exits_2(self, tmp_path, line):
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text(line + "\n")
+        assert main(["report", str(garbled)]) == 2
+
+    def test_report_phase_line_missing_fields_exits_2(self, tmp_path):
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(
+            '{"schema": 1, "run_id": "x", "kind": "crawl", '
+            '"created_at": "now", "meta": {}, "headline": {}}\n'
+            '{"count": 3}\n'
+        )
+        assert main(["report", str(truncated)]) == 2
+
+    def test_compare_missing_records_exit_2(self, tmp_path):
+        assert main(["compare", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 2
+
+    def test_audit_diff_missing_file_exits_2(self, tmp_path):
+        assert main(["audit-diff", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 2
+
+    def test_audit_diff_garbled_exits_2(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text("not json\n")
+        b.write_text("{}\n")
+        assert main(["audit-diff", str(a), str(b)]) == 2
+
+    def test_audit_diff_missing_fields_exits_2(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text('{"kind": "decision"}\n')
+        b.write_text('{"kind": "decision"}\n')
+        assert main(["audit-diff", str(a), str(b)]) == 2

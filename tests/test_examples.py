@@ -16,6 +16,14 @@ def run_example(name, *args, timeout=180):
     )
 
 
+def run_cli(*args, timeout=180):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+        cwd=EXAMPLES.parent,
+    )
+
+
 class TestExamples:
     def test_quickstart(self):
         result = run_example("quickstart.py")
@@ -59,3 +67,26 @@ class TestExamples:
         assert "ideal-san" in result.stdout
         assert "Figure 8" in result.stdout
         assert "reason-coded decisions" in result.stdout
+
+
+class TestScenarioFiles:
+    def test_chaos_scenario_resolves(self):
+        result = run_cli("run", "examples/scenario_chaos.toml",
+                         "--dry-run")
+        assert result.returncode == 0, result.stderr
+        resolved = result.stdout + result.stderr  # --dry-run diags
+        assert "repro chaos" in resolved
+        assert "--schedule examples/faults_demo.toml" in resolved
+        assert "--compare-policies" not in resolved
+
+    def test_chaos_demo_schedule_runs(self, tmp_path):
+        out = tmp_path / "report.jsonl"
+        result = run_cli("chaos", "--schedule",
+                         "examples/faults_demo.toml", "--sites", "8",
+                         "--seed", "2022", "--shards", "2",
+                         "--out", str(out), timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert "mean blast radius" in result.stdout
+        lines = out.read_text().strip().splitlines()
+        # Canonical report JSONL: meta + one line per fault + totals.
+        assert len(lines) == 6
